@@ -1,0 +1,36 @@
+// Package tap is a from-scratch Go implementation of TAP, the tunneling
+// approach for anonymity in structured P2P systems by Zhu & Hu (ICPP
+// 2004), together with every substrate the paper's evaluation ran on: a
+// Pastry-style routing overlay, a PAST-style replicated store, a
+// deterministic discrete-event network emulator, the Onion-Routing
+// bootstrap, the fixed-node baseline tunneling, and the colluding
+// adversary model.
+//
+// # What TAP is
+//
+// Classic P2P anonymity systems (Crowds, Tarzan, MorphMix) build an
+// anonymous path out of specific nodes; the path dies when any member
+// leaves. TAP names each tunnel hop by a DHT key (a hopid) instead of an
+// address, and anchors the hop's symmetric key in the DHT, replicated on
+// the k nodes numerically closest to the hopid. Whichever node currently
+// owns the hopid *is* the hop, so tunnels tolerate node failures: a hop
+// dies only when all k replica holders fail simultaneously.
+//
+// # Using this package
+//
+// The top-level API simulates a whole TAP deployment in-process:
+//
+//	net, err := tap.New(tap.Options{Nodes: 1000, Seed: 42})
+//	alice, err := net.NewClient("alice")
+//	err = alice.DeployAnchors(10)            // Onion-Routing bootstrap
+//	tun, err := alice.NewTunnel(5)           // 5 anonymous hops
+//	res, err := alice.Send(tun, dest, data)  // layered, fault-tolerant
+//
+// Anonymous file retrieval (the paper's §4 application), long-standing
+// sessions, churn, targeted failures, and the adversary are all reachable
+// from Network; see the examples directory for complete programs, and
+// cmd/tapsim for the harness that regenerates every figure of the paper.
+//
+// All randomness derives from Options.Seed: any run is reproducible
+// bit-for-bit.
+package tap

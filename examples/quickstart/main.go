@@ -1,0 +1,73 @@
+// Quickstart: build a TAP network, bootstrap a client through Onion
+// Routing, form an anonymous tunnel, and send a message through it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tap"
+)
+
+func main() {
+	// A 500-node structured P2P network. Every parameter defaults to the
+	// paper's setting (b=4, L=16, k=3, l=5); Seed makes the run
+	// reproducible.
+	net, err := tap.New(tap.Options{Nodes: 500, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built a %d-node Pastry-style overlay\n", net.Size())
+
+	// A client on a random node. Before it can form tunnels it deploys
+	// tunnel hop anchors — anonymously, through a classic Onion Routing
+	// path (the §3.3 bootstrap).
+	alice, err := net.NewClient("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := alice.DeployAnchors(10); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice (%s) deployed %d anchors via the Onion-Routing bootstrap\n",
+		alice.NodeID().Short(), alice.AnchorCount())
+
+	// Form a 5-hop tunnel. Hops are DHT keys, not nodes: whichever node
+	// is numerically closest to each hopid serves that hop.
+	tun, err := alice.NewTunnel(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tunnel hops (hopids, not addresses!):")
+	for i, hid := range tun.HopIDs() {
+		fmt.Printf("  hop %d: %s (currently served by node %s)\n",
+			i+1, hid.Short(), net.OwnerOf(hid).Short())
+	}
+
+	// Send a message anonymously to whatever node owns a key. Each hop
+	// strips one layer of encryption and learns only the next hopid.
+	dest := tap.KeyOf("mailbox/bob")
+	res, err := alice.Send(tun, dest, []byte("hello from nobody in particular"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndelivered %q to node %s in %d overlay hops\n",
+		res.Payload, res.Responder.Short(), res.OverlayHops)
+
+	// The punchline: kill the node serving hop 3 — the tunnel keeps
+	// working, because the anchor's replicas promote a successor.
+	hop3 := tun.HopIDs()[2]
+	before := net.OwnerOf(hop3)
+	if err := net.FailNodeOwning(hop3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nkilled hop 3's node %s; hop 3 is now served by %s\n",
+		before.Short(), net.OwnerOf(hop3).Short())
+	res, err = alice.Send(tun, dest, []byte("still here"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second send succeeded: %q (the tunnel survived the failure)\n", res.Payload)
+}

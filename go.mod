@@ -1,0 +1,3 @@
+module tap
+
+go 1.22

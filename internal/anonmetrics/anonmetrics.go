@@ -1,0 +1,139 @@
+// Package anonmetrics turns the paper's informal security analysis (§6)
+// into measurable quantities, using the entropy-based "degree of
+// anonymity" of Serjantov & Danezis / Díaz et al.: the adversary's
+// uncertainty about the initiator, normalized to [0,1].
+//
+// The knowledge model matches the paper's collusion analysis exactly:
+//
+//   - If the adversary holds the anchors of *all* hops (case 1), it can
+//     recognize a captured message as entering the first hop: whoever
+//     handed it over is the initiator. Candidate set size 1, anonymity 0.
+//   - If the adversary holds a *suffix* of the anchors (hops i..l with
+//     i>1) it can trace traffic forward from hop i and learn the
+//     destination — but the predecessor it observes at hop i is a relay
+//     (hop i−1's node), not the initiator. "A malicious node along the
+//     tunnel cannot know for sure whether it is the first hop" (§6): the
+//     initiator hides among every benign node.
+//   - With no useful knowledge, the initiator hides among all benign
+//     nodes; likewise the responder's view ("the probability that the
+//     responder correctly guesses the initiator's identity is 1/(N−1)").
+//
+// Candidates colluding nodes can rule out: themselves (they know they
+// did not originate the message).
+package anonmetrics
+
+import (
+	"math"
+
+	"tap/internal/adversary"
+	"tap/internal/core"
+)
+
+// Knowledge classifies what the collusion knows about one tunnel.
+type Knowledge int
+
+// Knowledge levels, weakest to strongest.
+const (
+	// KnowsNothing: no hop anchor of this tunnel has leaked.
+	KnowsNothing Knowledge = iota
+	// KnowsPartial: some anchors leaked, but not the full set — the
+	// adversary may trace segments but cannot prove where the tunnel
+	// starts.
+	KnowsPartial
+	// KnowsAll: every hop anchor leaked (the paper's case 1) — a
+	// captured message is fully traceable to its entry.
+	KnowsAll
+)
+
+// Classify inspects the collusion's anchor knowledge for a tunnel.
+func Classify(col *adversary.Collusion, t *core.Tunnel) Knowledge {
+	leaked := 0
+	for _, h := range t.Hops {
+		if col.Leaked(h.HopID) {
+			leaked++
+		}
+	}
+	switch leaked {
+	case 0:
+		return KnowsNothing
+	case t.Length():
+		return KnowsAll
+	default:
+		return KnowsPartial
+	}
+}
+
+// CandidateSetSize returns how many nodes the adversary must consider as
+// the possible initiator of traffic on this tunnel, in a network of n
+// live nodes of which m are colluding.
+func CandidateSetSize(col *adversary.Collusion, t *core.Tunnel, n int) int {
+	m := col.MaliciousCount()
+	benign := n - m
+	if benign < 1 {
+		benign = 1
+	}
+	if Classify(col, t) == KnowsAll {
+		return 1
+	}
+	// Partial or no knowledge: the initiator hides among the benign
+	// population (colluders exclude themselves).
+	return benign
+}
+
+// DegreeOfAnonymity returns the normalized entropy d = H/H_max ∈ [0,1]
+// of the adversary's initiator distribution for this tunnel: 1 = the
+// initiator hides among all benign nodes, 0 = identified. The adversary's
+// posterior is uniform over the candidate set (it has no basis to prefer
+// one benign node over another in this model).
+func DegreeOfAnonymity(col *adversary.Collusion, t *core.Tunnel, n int) float64 {
+	m := col.MaliciousCount()
+	benign := n - m
+	if benign <= 1 {
+		return 0
+	}
+	c := CandidateSetSize(col, t, n)
+	if c <= 1 {
+		return 0
+	}
+	return math.Log2(float64(c)) / math.Log2(float64(benign))
+}
+
+// MeanDegree averages the degree of anonymity over a tunnel population —
+// the population-level anonymity curve.
+func MeanDegree(col *adversary.Collusion, tunnels []*core.Tunnel, n int) float64 {
+	if len(tunnels) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range tunnels {
+		sum += DegreeOfAnonymity(col, t, n)
+	}
+	return sum / float64(len(tunnels))
+}
+
+// ResponderGuessProbability is §6's responder bound: a responder that
+// wants to guess the initiator can do no better than uniform over the
+// other n−1 nodes.
+func ResponderGuessProbability(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 / float64(n-1)
+}
+
+// SuffixTraceable reports whether the adversary can trace this tunnel's
+// traffic forward to its destination: it holds a contiguous suffix of
+// anchors starting at or before hop `fromHop` (1-indexed). Destination
+// exposure matters for responder-side privacy even when the initiator
+// stays hidden.
+func SuffixTraceable(col *adversary.Collusion, t *core.Tunnel, fromHop int) bool {
+	if fromHop < 1 || fromHop > t.Length() {
+		return false
+	}
+	for i := fromHop - 1; i < t.Length(); i++ {
+		if !col.Leaked(t.Hops[i].HopID) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+package anonmetrics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tap/internal/adversary"
+	"tap/internal/core"
+	"tap/internal/past"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/tha"
+)
+
+type sys struct {
+	ov   *pastry.Overlay
+	dir  *tha.Directory
+	svc  *core.Service
+	col  *adversary.Collusion
+	root *rng.Stream
+}
+
+func newSys(t testing.TB, n int, seed uint64) *sys {
+	t.Helper()
+	root := rng.New(seed)
+	ov, err := pastry.Build(pastry.DefaultConfig(), n, root.Split("overlay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := past.NewManager(ov, 3)
+	dir := tha.NewDirectory(ov, mgr)
+	svc := core.NewService(ov, dir, root.Split("svc"))
+	return &sys{ov: ov, dir: dir, svc: svc, col: adversary.NewCollusion(ov, mgr), root: root}
+}
+
+func (s *sys) tunnel(t testing.TB, label string, l int) *core.Tunnel {
+	t.Helper()
+	node := s.ov.RandomLive(s.root.Split("pick-" + label))
+	in, err := core.NewInitiator(s.svc, node, s.root.Split("init-"+label))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DeployDirect(l); err != nil {
+		t.Fatal(err)
+	}
+	tun, err := in.FormTunnel(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tun
+}
+
+func (s *sys) leakHop(t testing.TB, tun *core.Tunnel, hop int) {
+	t.Helper()
+	s.col.MarkAddr(s.dir.ReplicaAddrs(tun.Hops[hop].HopID)[0])
+}
+
+func TestClassify(t *testing.T) {
+	s := newSys(t, 200, 1)
+	tun := s.tunnel(t, "a", 3)
+	if got := Classify(s.col, tun); got != KnowsNothing {
+		t.Fatalf("fresh tunnel classified %v", got)
+	}
+	s.leakHop(t, tun, 1)
+	if got := Classify(s.col, tun); got != KnowsPartial {
+		t.Fatalf("one leak classified %v", got)
+	}
+	s.leakHop(t, tun, 0)
+	s.leakHop(t, tun, 2)
+	if got := Classify(s.col, tun); got != KnowsAll {
+		t.Fatalf("all leaked classified %v", got)
+	}
+}
+
+func TestDegreeOfAnonymityBounds(t *testing.T) {
+	s := newSys(t, 200, 2)
+	tun := s.tunnel(t, "a", 3)
+	n := s.ov.Size()
+	if d := DegreeOfAnonymity(s.col, tun, n); d != 1 {
+		t.Fatalf("unleaked tunnel degree = %f, want 1", d)
+	}
+	s.leakHop(t, tun, 0)
+	s.leakHop(t, tun, 1)
+	s.leakHop(t, tun, 2)
+	if d := DegreeOfAnonymity(s.col, tun, n); d != 0 {
+		t.Fatalf("fully leaked tunnel degree = %f, want 0", d)
+	}
+}
+
+func TestPartialLeakKeepsInitiatorHidden(t *testing.T) {
+	// The §6 argument: a suffix of leaked hops exposes the destination,
+	// not the initiator.
+	s := newSys(t, 300, 3)
+	tun := s.tunnel(t, "a", 4)
+	n := s.ov.Size()
+	s.leakHop(t, tun, 2)
+	s.leakHop(t, tun, 3)
+	d := DegreeOfAnonymity(s.col, tun, n)
+	if d < 0.99 {
+		t.Fatalf("partial suffix leak collapsed anonymity to %f", d)
+	}
+	if !SuffixTraceable(s.col, tun, 3) {
+		t.Fatalf("leaked suffix not traceable from hop 3")
+	}
+	if SuffixTraceable(s.col, tun, 1) {
+		t.Fatalf("whole tunnel traceable with only a suffix leaked")
+	}
+	if SuffixTraceable(s.col, tun, 0) || SuffixTraceable(s.col, tun, 9) {
+		t.Fatalf("out-of-range fromHop accepted")
+	}
+}
+
+func TestCandidateSetSize(t *testing.T) {
+	s := newSys(t, 100, 4)
+	tun := s.tunnel(t, "a", 3)
+	s.col.MarkFraction(0.1, s.root.Split("mark"))
+	n := s.ov.Size()
+	benign := n - s.col.MaliciousCount()
+	if got := CandidateSetSize(s.col, tun, n); got != benign {
+		t.Fatalf("candidates = %d, want %d benign nodes", got, benign)
+	}
+}
+
+func TestMeanDegreeDropsWithCollusion(t *testing.T) {
+	s := newSys(t, 300, 5)
+	var tunnels []*core.Tunnel
+	for i := 0; i < 40; i++ {
+		tunnels = append(tunnels, s.tunnel(t, fmt.Sprintf("t%d", i), 2))
+	}
+	n := s.ov.Size()
+	before := MeanDegree(s.col, tunnels, n)
+	if before != 1 {
+		t.Fatalf("clean network mean degree %f", before)
+	}
+	s.col.MarkFraction(0.3, s.root.Split("mark"))
+	after := MeanDegree(s.col, tunnels, n)
+	if after > before {
+		t.Fatalf("mean degree rose under collusion")
+	}
+	// With l=2 and p=0.3 some tunnels are fully leaked, so the mean must
+	// fall strictly below 1.
+	if after >= 1 {
+		t.Fatalf("mean degree %f did not drop at p=0.3, l=2", after)
+	}
+}
+
+func TestResponderGuessProbability(t *testing.T) {
+	if got := ResponderGuessProbability(10_000); math.Abs(got-1.0/9999) > 1e-12 {
+		t.Fatalf("responder bound = %g", got)
+	}
+	if ResponderGuessProbability(1) != 1 {
+		t.Fatalf("degenerate network")
+	}
+}
+
+func TestDegenerateNetworks(t *testing.T) {
+	s := newSys(t, 50, 6)
+	tun := s.tunnel(t, "a", 2)
+	// All nodes malicious: no anonymity possible.
+	s.col.MarkFraction(1.0, s.root.Split("mark"))
+	if d := DegreeOfAnonymity(s.col, tun, s.ov.Size()); d != 0 {
+		t.Fatalf("degree %f with zero benign nodes", d)
+	}
+	if MeanDegree(s.col, nil, 100) != 0 {
+		t.Fatalf("empty population mean not 0")
+	}
+}

@@ -1,0 +1,239 @@
+package mail
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"tap/internal/core"
+	"tap/internal/past"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/tha"
+)
+
+type sys struct {
+	ov   *pastry.Overlay
+	mgr  *past.Manager
+	dir  *tha.Directory
+	svc  *core.Service
+	mail *Service
+	root *rng.Stream
+}
+
+func newSys(t testing.TB, n int, seed uint64) *sys {
+	t.Helper()
+	root := rng.New(seed)
+	ov, err := pastry.Build(pastry.DefaultConfig(), n, root.Split("overlay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := past.NewManager(ov, 3)
+	dir := tha.NewDirectory(ov, mgr)
+	svc := core.NewService(ov, dir, root.Split("svc"))
+	return &sys{ov: ov, mgr: mgr, dir: dir, svc: svc, mail: NewService(svc), root: root}
+}
+
+func (s *sys) initiator(t testing.TB, label string, anchors int) *core.Initiator {
+	t.Helper()
+	node := s.ov.RandomLive(s.root.Split("pick-" + label))
+	in, err := core.NewInitiator(s.svc, node, s.root.Split("init-"+label))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DeployDirect(anchors); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSendAndFetch(t *testing.T) {
+	s := newSys(t, 300, 1)
+	sender := s.initiator(t, "sender", 12)
+	recipient := s.initiator(t, "recipient", 12)
+	pseudonym := NewPseudonym(s.root.Split("pseud"))
+
+	st, err := sender.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, body := range []string{"first", "second", "third"} {
+		if _, err := s.mail.Send(sender, st, pseudonym, []byte(body), false, s.root.SplitN("send", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.mail.Pending(pseudonym); got != 3 {
+		t.Fatalf("pending = %d", got)
+	}
+
+	tunnels, err := recipient.FormDisjointTunnels(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := s.mail.Fetch(recipient, tunnels[0], tunnels[1], pseudonym, s.root.Split("fetch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("fetched %d messages", len(msgs))
+	}
+	for i, want := range []string{"first", "second", "third"} {
+		if string(msgs[i].Body) != want {
+			t.Fatalf("msg %d = %q", i, msgs[i].Body)
+		}
+	}
+	// Box drained.
+	if got := s.mail.Pending(pseudonym); got != 0 {
+		t.Fatalf("pending after fetch = %d", got)
+	}
+	msgs, err = s.mail.Fetch(recipient, tunnels[0], tunnels[1], pseudonym, s.root.Split("fetch2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("second fetch returned %d messages", len(msgs))
+	}
+}
+
+func TestReplyPath(t *testing.T) {
+	s := newSys(t, 300, 2)
+	sender := s.initiator(t, "sender", 16)
+	recipient := s.initiator(t, "recipient", 12)
+	pseudonym := NewPseudonym(s.root.Split("pseud"))
+
+	st, err := sender.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid, err := s.mail.Send(sender, st, pseudonym, []byte("please reply"), true, s.root.Split("send"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bid.IsZero() {
+		t.Fatalf("no bid returned for reply-enabled mail")
+	}
+
+	tunnels, err := recipient.FormDisjointTunnels(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := s.mail.Fetch(recipient, tunnels[0], tunnels[1], pseudonym, s.root.Split("fetch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || len(msgs[0].ReplyTunnel) == 0 {
+		t.Fatalf("reply tunnel not delivered with the message")
+	}
+	// The recipient answers over the attached reply tunnel.
+	target, err := s.mail.Reply(recipient.Node().Ref().Addr, msgs[0], []byte("answer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != bid {
+		t.Fatalf("reply landed at %s, want sender bid %s", target.Short(), bid.Short())
+	}
+	// And the landing node is the sender's.
+	if s.ov.OwnerOf(target).ID() != sender.Node().ID() {
+		t.Fatalf("bid not owned by the sender")
+	}
+}
+
+func TestMailSurvivesHopFailures(t *testing.T) {
+	s := newSys(t, 400, 3)
+	sender := s.initiator(t, "sender", 12)
+	recipient := s.initiator(t, "recipient", 12)
+	pseudonym := NewPseudonym(s.root.Split("pseud"))
+	host := s.ov.OwnerOf(pseudonym).ID()
+
+	st, err := sender.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.mail.Send(sender, st, pseudonym, []byte("resilient"), false, s.root.Split("send")); err != nil {
+		t.Fatal(err)
+	}
+
+	tunnels, err := recipient.FormDisjointTunnels(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill all hop nodes of the recipient's tunnels.
+	for _, tun := range tunnels {
+		for _, h := range tun.Hops {
+			node, ok := s.dir.HopNode(h.HopID)
+			if !ok {
+				t.Fatal("hop missing")
+			}
+			if node.ID() == recipient.Node().ID() || node.ID() == host {
+				continue
+			}
+			if err := s.ov.Fail(node.Ref().Addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	msgs, err := s.mail.Fetch(recipient, tunnels[0], tunnels[1], pseudonym, s.root.Split("fetch"))
+	if err != nil {
+		t.Fatalf("fetch after hop failures: %v", err)
+	}
+	if len(msgs) != 1 || string(msgs[0].Body) != "resilient" {
+		t.Fatalf("mail lost: %v", msgs)
+	}
+}
+
+func TestReplyWithoutTunnelErrors(t *testing.T) {
+	s := newSys(t, 200, 4)
+	m := Message{Body: []byte("no reply possible")}
+	if _, err := s.mail.Reply(0, m, []byte("x")); err == nil {
+		t.Fatalf("reply without tunnel accepted")
+	}
+}
+
+func TestFetchLostWhenReplyAnchorGone(t *testing.T) {
+	s := newSys(t, 300, 5)
+	recipient := s.initiator(t, "recipient", 12)
+	pseudonym := NewPseudonym(s.root.Split("pseud"))
+	tunnels, err := recipient.FormDisjointTunnels(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mgr.BeginBatch()
+	for _, addr := range s.dir.ReplicaAddrs(tunnels[1].Hops[1].HopID) {
+		if err := s.ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mgr.EndBatch()
+	_, err = s.mail.Fetch(recipient, tunnels[0], tunnels[1], pseudonym, s.root.Split("fetch"))
+	if !errors.Is(err, ErrFetchLost) {
+		t.Fatalf("err = %v, want ErrFetchLost", err)
+	}
+}
+
+func TestMessageCodec(t *testing.T) {
+	m := Message{Body: []byte("body"), ReplyTunnel: []byte("rt")}
+	got, err := decodeMessage(encodeMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body, m.Body) || !bytes.Equal(got.ReplyTunnel, m.ReplyTunnel) {
+		t.Fatalf("round trip mismatch")
+	}
+	if _, err := decodeMessage([]byte{0xff, 0xff}); err == nil {
+		t.Fatalf("junk accepted")
+	}
+}
+
+func TestPseudonymUnlinkable(t *testing.T) {
+	s1 := rng.New(1)
+	a := NewPseudonym(s1)
+	b := NewPseudonym(s1)
+	if a == b {
+		t.Fatalf("pseudonyms collide")
+	}
+	// Same stream state reproduces: deterministic for the owner.
+	s2 := rng.New(1)
+	if NewPseudonym(s2) != a {
+		t.Fatalf("pseudonym not reproducible from the owner's secret stream")
+	}
+}

@@ -1,0 +1,250 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"tap/internal/core"
+	"tap/internal/id"
+	"tap/internal/past"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/tha"
+)
+
+type sys struct {
+	ov   *pastry.Overlay
+	mgr  *past.Manager
+	dir  *tha.Directory
+	svc  *core.Service
+	root *rng.Stream
+}
+
+func newSys(t testing.TB, n, k int, seed uint64) *sys {
+	t.Helper()
+	root := rng.New(seed)
+	ov, err := pastry.Build(pastry.DefaultConfig(), n, root.Split("overlay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := past.NewManager(ov, k)
+	dir := tha.NewDirectory(ov, mgr)
+	svc := core.NewService(ov, dir, root.Split("svc"))
+	return &sys{ov: ov, mgr: mgr, dir: dir, svc: svc, root: root}
+}
+
+func (s *sys) initiator(t testing.TB, anchors int) *core.Initiator {
+	t.Helper()
+	node := s.ov.RandomLive(s.root.Split("pick"))
+	in, err := core.NewInitiator(s.svc, node, s.root.Split("init"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DeployDirect(anchors); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func echoUpper(req []byte) []byte {
+	out := make([]byte, len(req))
+	for i, b := range req {
+		if b >= 'a' && b <= 'z' {
+			b -= 32
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func TestSessionExchanges(t *testing.T) {
+	s := newSys(t, 300, 3, 1)
+	in := s.initiator(t, 20)
+	server := id.HashString("login.example")
+	sess, err := Open(in, server, 3, s.root.Split("sess"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		req := []byte(fmt.Sprintf("cmd-%d", i))
+		resp, err := sess.Exchange(req, echoUpper)
+		if err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+		if string(resp) != fmt.Sprintf("CMD-%d", i) {
+			t.Fatalf("exchange %d: resp %q", i, resp)
+		}
+	}
+	if sess.Exchanges() != 10 {
+		t.Fatalf("exchanges = %d", sess.Exchanges())
+	}
+}
+
+func TestSessionSurvivesChurnBaselineDies(t *testing.T) {
+	// The paper's motivating comparison: a long-standing session under
+	// continuous hop-node failures. TAP keeps exchanging; the fixed-node
+	// baseline dies with its first relay.
+	s := newSys(t, 500, 3, 2)
+	in := s.initiator(t, 20)
+	server := id.HashString("login.example")
+	sess, err := Open(in, server, 3, s.root.Split("sess"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsess, err := OpenFixed(s.svc, server, 3, s.root.Split("fixed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnStream := s.root.Split("churn")
+	tapOK, fixedOK := 0, 0
+	var fixedDead bool
+	for round := 0; round < 15; round++ {
+		// Kill a random live node each round (sparing the endpoints).
+		for {
+			victim := s.ov.RandomLive(churnStream)
+			if victim.ID() == in.Node().ID() || victim.ID() == s.ov.OwnerOf(server).ID() {
+				continue
+			}
+			if err := s.ov.Fail(victim.Ref().Addr); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if _, err := sess.Exchange([]byte("ping"), echoUpper); err == nil {
+			tapOK++
+		} else if !errors.Is(err, ErrSessionBroken) {
+			t.Fatalf("unexpected TAP session error: %v", err)
+		}
+		if !fixedDead {
+			if _, err := fsess.Exchange([]byte("ping"), echoUpper); err == nil {
+				fixedOK++
+			} else if errors.Is(err, core.ErrRelayDead) {
+				fixedDead = true
+			} else {
+				t.Fatalf("unexpected fixed session error: %v", err)
+			}
+		}
+	}
+	if tapOK != 15 {
+		t.Fatalf("TAP session only survived %d/15 rounds (sequential failures with k=3 should never break it)", tapOK)
+	}
+	_ = fixedOK // the fixed session may or may not die in 15 random kills of 500 nodes
+}
+
+func TestSessionTargetedHopKills(t *testing.T) {
+	// Deliberately kill the current hop node of a tunnel hop before every
+	// exchange; the session must keep working.
+	s := newSys(t, 400, 3, 3)
+	in := s.initiator(t, 24)
+	server := id.HashString("srv")
+	sess, err := Open(in, server, 3, s.root.Split("sess"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		h := sess.fwd.Hops[round%3]
+		node, ok := s.dir.HopNode(h.HopID)
+		if !ok {
+			t.Fatal("hop missing")
+		}
+		if node.ID() != in.Node().ID() && node.ID() != s.ov.OwnerOf(server).ID() {
+			if err := s.ov.Fail(node.Ref().Addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sess.Exchange([]byte("x"), echoUpper); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestSessionBreaksOnAnchorLoss(t *testing.T) {
+	s := newSys(t, 300, 3, 4)
+	in := s.initiator(t, 20)
+	sess, err := Open(in, id.HashString("srv"), 3, s.root.Split("sess"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mgr.BeginBatch()
+	for _, addr := range s.dir.ReplicaAddrs(sess.fwd.Hops[1].HopID) {
+		if err := s.ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mgr.EndBatch()
+	_, err = sess.Exchange([]byte("x"), echoUpper)
+	if !errors.Is(err, ErrSessionBroken) {
+		t.Fatalf("err = %v, want ErrSessionBroken", err)
+	}
+}
+
+func TestFixedSessionLifecycle(t *testing.T) {
+	s := newSys(t, 300, 3, 6)
+	server := id.HashString("srv")
+	fsess, err := OpenFixed(s.svc, server, 3, s.root.Split("fixed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsess.Exchanges() != 0 {
+		t.Fatalf("fresh session has exchanges")
+	}
+	for i := 0; i < 4; i++ {
+		resp, err := fsess.Exchange([]byte("req"), echoUpper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != "REQ" {
+			t.Fatalf("resp %q", resp)
+		}
+	}
+	if fsess.Exchanges() != 4 {
+		t.Fatalf("exchanges = %d", fsess.Exchanges())
+	}
+	// Kill one of its relays: permanently dead.
+	if err := s.ov.Fail(fsess.fwd.Relays[1].Addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsess.Exchange([]byte("req"), echoUpper); !errors.Is(err, core.ErrRelayDead) {
+		t.Fatalf("err = %v, want ErrRelayDead", err)
+	}
+	if fsess.Exchanges() != 4 {
+		t.Fatalf("failed exchange counted")
+	}
+}
+
+func TestOpenFixedErrors(t *testing.T) {
+	s := newSys(t, 3, 3, 7)
+	if _, err := OpenFixed(s.svc, id.HashString("srv"), 10, s.root.Split("f")); err == nil {
+		t.Fatalf("oversized fixed session accepted")
+	}
+}
+
+func TestSessionReplyLostSurfaced(t *testing.T) {
+	// Lose the reply tunnel's middle anchor: the forward leg works, the
+	// reply misroutes, and the session reports ErrReplyLost.
+	s := newSys(t, 300, 3, 8)
+	in := s.initiator(t, 20)
+	sess, err := Open(in, id.HashString("srv"), 3, s.root.Split("sess"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mgr.BeginBatch()
+	for _, addr := range s.dir.ReplicaAddrs(sess.rep.Hops[1].HopID) {
+		if err := s.ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mgr.EndBatch()
+	if _, err := sess.Exchange([]byte("x"), echoUpper); !errors.Is(err, ErrReplyLost) {
+		t.Fatalf("err = %v, want ErrReplyLost", err)
+	}
+}
+
+func TestOpenRequiresEnoughAnchors(t *testing.T) {
+	s := newSys(t, 200, 3, 5)
+	in := s.initiator(t, 4) // needs 6 for two length-3 tunnels
+	if _, err := Open(in, id.HashString("srv"), 3, s.root.Split("sess")); err == nil {
+		t.Fatalf("session opened with too few anchors")
+	}
+}

@@ -1,0 +1,76 @@
+// Package churn drives the membership dynamics of the paper's
+// experiments: the simultaneous mass failures of Figure 2 and the
+// per-time-unit leave/join waves of Figure 5.
+package churn
+
+import (
+	"tap/internal/past"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+)
+
+// FailFraction fails ⌊p·N⌋ uniformly random live nodes *simultaneously*:
+// the replication manager's repair is suspended for the whole batch, so
+// items whose entire replica set is hit are lost — exactly the Figure 2
+// failure model. The optional keep predicate protects nodes from selection
+// (e.g. a measurement observer). Returns the failed refs.
+func FailFraction(ov *pastry.Overlay, mgr *past.Manager, p float64, stream *rng.Stream, keep func(simnet.Addr) bool) []pastry.NodeRef {
+	want := int(p * float64(ov.Size()))
+	refs := ov.LiveRefs()
+	// Select victims before failing anything so the sample is uniform over
+	// the pre-failure population.
+	victims := make([]pastry.NodeRef, 0, want)
+	for _, idx := range stream.PermFirstK(len(refs), len(refs)) {
+		if len(victims) == want {
+			break
+		}
+		r := refs[idx]
+		if keep != nil && keep(r.Addr) {
+			continue
+		}
+		victims = append(victims, r)
+	}
+	mgr.BeginBatch()
+	for _, v := range victims {
+		if err := ov.Fail(v.Addr); err != nil {
+			// Refusing to kill the last node is the only expected error;
+			// anything else is an invariant violation worth crashing on.
+			panic(err)
+		}
+	}
+	mgr.EndBatch()
+	return victims
+}
+
+// Wave performs one Figure 5 time unit: `leaves` random benign departures
+// followed by `joins` fresh arrivals. Departures are sequential (the
+// replication manager migrates after each, as a real system would over a
+// time unit); the benign predicate excludes malicious nodes, which "try to
+// stay in the system as long as possible". Returns how many nodes actually
+// left.
+func Wave(ov *pastry.Overlay, leaves, joins int, stream *rng.Stream, benign func(simnet.Addr) bool) int {
+	left := 0
+	const maxTries = 64
+	for i := 0; i < leaves; i++ {
+		var victim *pastry.Node
+		for try := 0; try < maxTries; try++ {
+			n := ov.RandomLive(stream)
+			if benign == nil || benign(n.Ref().Addr) {
+				victim = n
+				break
+			}
+		}
+		if victim == nil {
+			break // overlay is essentially all-malicious; nothing to do
+		}
+		if err := ov.Fail(victim.Ref().Addr); err != nil {
+			panic(err)
+		}
+		left++
+	}
+	for i := 0; i < joins; i++ {
+		ov.Join()
+	}
+	return left
+}

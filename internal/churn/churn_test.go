@@ -1,0 +1,125 @@
+package churn
+
+import (
+	"testing"
+
+	"tap/internal/id"
+	"tap/internal/past"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+)
+
+func setup(t testing.TB, n, k int, seed uint64) (*pastry.Overlay, *past.Manager, *rng.Stream) {
+	t.Helper()
+	root := rng.New(seed)
+	ov, err := pastry.Build(pastry.DefaultConfig(), n, root.Split("overlay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ov, past.NewManager(ov, k), root.Split("churn")
+}
+
+func TestFailFractionCountAndBatchSemantics(t *testing.T) {
+	ov, mgr, s := setup(t, 200, 3, 1)
+	// Store some items so batch loss can occur.
+	for i := 0; i < 100; i++ {
+		key := id.HashString(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		if err := mgr.Insert(key, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victims := FailFraction(ov, mgr, 0.25, s, nil)
+	if len(victims) != 50 {
+		t.Fatalf("failed %d nodes, want 50", len(victims))
+	}
+	if ov.Size() != 150 {
+		t.Fatalf("size %d after failures", ov.Size())
+	}
+	for _, v := range victims {
+		if n := ov.Node(v.Addr); n != nil && n.Alive() {
+			t.Fatalf("victim %v still alive", v)
+		}
+	}
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailFractionKeepPredicate(t *testing.T) {
+	ov, mgr, s := setup(t, 100, 3, 2)
+	protected := ov.RandomLive(s).Ref().Addr
+	FailFraction(ov, mgr, 0.5, s, func(a simnet.Addr) bool { return a == protected })
+	n := ov.Node(protected)
+	if n == nil || !n.Alive() {
+		t.Fatalf("protected node was failed")
+	}
+}
+
+func TestFailFractionZero(t *testing.T) {
+	ov, mgr, s := setup(t, 50, 3, 3)
+	if got := FailFraction(ov, mgr, 0, s, nil); len(got) != 0 {
+		t.Fatalf("p=0 failed %d nodes", len(got))
+	}
+}
+
+func TestWaveKeepsPopulationConstant(t *testing.T) {
+	ov, mgr, s := setup(t, 300, 3, 4)
+	_ = mgr
+	before := ov.Size()
+	left := Wave(ov, 30, 30, s, nil)
+	if left != 30 {
+		t.Fatalf("left = %d", left)
+	}
+	if ov.Size() != before {
+		t.Fatalf("population changed: %d -> %d", before, ov.Size())
+	}
+	if err := ov.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaveRespectsBenignPredicate(t *testing.T) {
+	ov, _, s := setup(t, 100, 3, 5)
+	// Protect half the nodes: they must all survive the wave.
+	protected := map[simnet.Addr]bool{}
+	for i, r := range ov.LiveRefs() {
+		if i%2 == 0 {
+			protected[r.Addr] = true
+		}
+	}
+	Wave(ov, 30, 30, s, func(a simnet.Addr) bool { return !protected[a] })
+	for addr := range protected {
+		n := ov.Node(addr)
+		if n == nil || !n.Alive() {
+			t.Fatalf("protected node %d left during wave", addr)
+		}
+	}
+}
+
+func TestWaveSequentialRepairPreservesData(t *testing.T) {
+	ov, mgr, s := setup(t, 300, 3, 6)
+	keys := make([]id.ID, 150)
+	for i := range keys {
+		var key id.ID
+		s.Bytes(key[:])
+		keys[i] = key
+		if err := mgr.Insert(key, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for unit := 0; unit < 5; unit++ {
+		Wave(ov, 20, 20, s, nil)
+	}
+	if mgr.LostCount() != 0 {
+		t.Fatalf("sequential waves lost %d items", mgr.LostCount())
+	}
+	for _, k := range keys {
+		if _, ok := mgr.Lookup(k); !ok {
+			t.Fatalf("item lost during waves")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package churn
+
+import (
+	"time"
+
+	"tap/internal/past"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+)
+
+// Driver is a continuous-time churn process on the simulation kernel:
+// departures and arrivals are scheduled as events, so membership changes
+// race in-flight traffic exactly as they would in a deployed network.
+// The waves of Figure 5 happen *between* measurements; the Driver models
+// churn *during* them.
+//
+// Inter-event gaps are exponentially distributed (memoryless session
+// ends), the standard churn model. Each event is one departure followed
+// by one arrival, keeping the population stationary.
+type Driver struct {
+	OV  *pastry.Overlay
+	Mgr *past.Manager
+	Net *simnet.Network
+
+	// MeanGap is the average simulated time between churn events. The
+	// population-wide "churn rate" is 1/MeanGap events per unit time.
+	MeanGap time.Duration
+	// Keep, when non-nil, protects nodes from being chosen to depart.
+	Keep func(simnet.Addr) bool
+
+	stream *rng.Stream
+	// Departures and Arrivals count events executed.
+	Departures, Arrivals int
+
+	stopped bool
+}
+
+// NewDriver creates a churn driver; call Start to begin.
+func NewDriver(ov *pastry.Overlay, net *simnet.Network, meanGap time.Duration, stream *rng.Stream) *Driver {
+	return &Driver{OV: ov, Net: net, MeanGap: meanGap, stream: stream}
+}
+
+// Start schedules churn events until deadline or Stop.
+func (d *Driver) Start(deadline simnet.Time) {
+	d.scheduleNext(deadline)
+}
+
+// Stop halts the process after the current event.
+func (d *Driver) Stop() { d.stopped = true }
+
+// nextGap draws an exponential inter-event time.
+func (d *Driver) nextGap() time.Duration {
+	g := d.stream.ExpFloat64() * float64(d.MeanGap)
+	if g < float64(time.Microsecond) {
+		g = float64(time.Microsecond)
+	}
+	return time.Duration(g)
+}
+
+func (d *Driver) scheduleNext(deadline simnet.Time) {
+	d.Net.Kernel.Schedule(d.nextGap(), func() {
+		if d.stopped || d.Net.Now() > deadline {
+			return
+		}
+		d.step()
+		d.scheduleNext(deadline)
+	})
+}
+
+// step performs one departure + one arrival.
+func (d *Driver) step() {
+	if d.OV.Size() > 2 {
+		const maxTries = 64
+		for try := 0; try < maxTries; try++ {
+			victim := d.OV.RandomLive(d.stream)
+			if d.Keep != nil && d.Keep(victim.Ref().Addr) {
+				continue
+			}
+			addr := victim.Ref().Addr
+			if err := d.OV.Fail(addr); err != nil {
+				break
+			}
+			d.Net.Detach(addr)
+			d.Departures++
+			break
+		}
+	}
+	// Grow the address space before the join fires OnJoin hooks, so any
+	// handler-attachment hook finds room.
+	d.Net.Grow(d.OV.NumAddrs() + 1)
+	d.OV.Join() // OnJoin hooks (replica migration, engine attach) fire here
+	d.Arrivals++
+}

@@ -1,0 +1,121 @@
+package churn
+
+import (
+	"testing"
+	"time"
+
+	"tap/internal/id"
+	"tap/internal/past"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+)
+
+func netSetup(t testing.TB, n int, seed uint64) (*pastry.Overlay, *past.Manager, *simnet.Kernel, *simnet.Network, *rng.Stream) {
+	t.Helper()
+	root := rng.New(seed)
+	ov, err := pastry.Build(pastry.DefaultConfig(), n, root.Split("overlay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := past.NewManager(ov, 3)
+	k := simnet.NewKernel()
+	k.MaxSteps = 5_000_000
+	net := simnet.NewNetwork(k, simnet.DefaultLinkModel(seed), ov.NumAddrs())
+	for _, r := range ov.LiveRefs() {
+		net.Attach(r.Addr, simnet.HandlerFunc(func(*simnet.Network, simnet.Addr, simnet.Message) {}))
+	}
+	return ov, mgr, k, net, root.Split("churn")
+}
+
+func TestDriverEventRate(t *testing.T) {
+	ov, _, k, net, s := netSetup(t, 200, 1)
+	d := NewDriver(ov, net, 100*time.Millisecond, s)
+	deadline := simnet.Time(5 * time.Second)
+	d.Start(deadline)
+	if err := k.RunUntil(deadline + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// ~50 events expected over 5 s at one per 100 ms.
+	if d.Departures < 25 || d.Departures > 90 {
+		t.Fatalf("departures = %d, expected ~50", d.Departures)
+	}
+	if d.Arrivals < d.Departures {
+		t.Fatalf("arrivals %d < departures %d", d.Arrivals, d.Departures)
+	}
+	// Population stationary.
+	if ov.Size() != 200+d.Arrivals-d.Departures {
+		t.Fatalf("population bookkeeping off")
+	}
+	if err := ov.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverStops(t *testing.T) {
+	ov, _, k, net, s := netSetup(t, 100, 2)
+	d := NewDriver(ov, net, 50*time.Millisecond, s)
+	d.Start(simnet.Time(time.Hour))
+	if err := k.RunUntil(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	at := d.Departures
+	d.Stop()
+	if err := k.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d.Departures != at {
+		t.Fatalf("driver kept churning after Stop")
+	}
+}
+
+func TestDriverKeepPredicate(t *testing.T) {
+	ov, _, k, net, s := netSetup(t, 100, 3)
+	protected := ov.RandomLive(s).Ref().Addr
+	d := NewDriver(ov, net, 10*time.Millisecond, s)
+	d.Keep = func(a simnet.Addr) bool { return a == protected }
+	d.Start(simnet.Time(2 * time.Second))
+	if err := k.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	n := ov.Node(protected)
+	if n == nil || !n.Alive() {
+		t.Fatalf("protected node churned out")
+	}
+	if d.Departures == 0 {
+		t.Fatalf("no churn happened")
+	}
+}
+
+func TestDriverPreservesStoredData(t *testing.T) {
+	ov, mgr, k, net, s := netSetup(t, 200, 4)
+	keys := make([]id.ID, 0, 50)
+	for i := 0; i < 50; i++ {
+		var key id.ID
+		s.Bytes(key[:])
+		if err := mgr.Insert(key, i); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	d := NewDriver(ov, net, 20*time.Millisecond, s)
+	d.Start(simnet.Time(3 * time.Second))
+	if err := k.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d.Departures < 50 {
+		t.Fatalf("churn too weak to be meaningful: %d departures", d.Departures)
+	}
+	// Sequential churn never loses replicated data.
+	if mgr.LostCount() != 0 {
+		t.Fatalf("driver churn lost %d items", mgr.LostCount())
+	}
+	for _, key := range keys {
+		if _, ok := mgr.Lookup(key); !ok {
+			t.Fatalf("item lost under driver churn")
+		}
+	}
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"tap/internal/crypt"
+	"tap/internal/id"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+	"tap/internal/wire"
+)
+
+// FixedTunnel is the "current tunneling" baseline the paper compares
+// against (Crowds/Tarzan/MorphMix style): an anonymous path through a
+// fixed sequence of specific nodes, with a symmetric key established with
+// each. Its defining weakness is the one Figure 2 quantifies — "a path
+// fails if one of its mixes leaves the system".
+type FixedTunnel struct {
+	Relays []pastry.NodeRef
+	Keys   []crypt.Key
+}
+
+// Length returns the number of relays.
+func (ft *FixedTunnel) Length() int { return len(ft.Relays) }
+
+// FormFixed picks l distinct live relays uniformly at random and
+// establishes a layer key with each (the key exchange itself is assumed,
+// as those systems assume a PKI).
+func FormFixed(ov *pastry.Overlay, l int, stream *rng.Stream) (*FixedTunnel, error) {
+	if l <= 0 {
+		return nil, fmt.Errorf("core: fixed tunnel length %d must be positive", l)
+	}
+	if ov.Size() < l {
+		return nil, fmt.Errorf("core: overlay of %d nodes cannot host %d distinct relays", ov.Size(), l)
+	}
+	ft := &FixedTunnel{
+		Relays: make([]pastry.NodeRef, 0, l),
+		Keys:   make([]crypt.Key, 0, l),
+	}
+	used := make(map[simnet.Addr]struct{}, l)
+	for len(ft.Relays) < l {
+		n := ov.RandomLive(stream)
+		if _, dup := used[n.Ref().Addr]; dup {
+			continue
+		}
+		used[n.Ref().Addr] = struct{}{}
+		key, err := crypt.NewKey(stream)
+		if err != nil {
+			return nil, err
+		}
+		ft.Relays = append(ft.Relays, n.Ref())
+		ft.Keys = append(ft.Keys, key)
+	}
+	return ft, nil
+}
+
+// Alive reports whether every relay is still a live overlay member — the
+// baseline functions exactly when this holds.
+func (ft *FixedTunnel) Alive(ov *pastry.Overlay) bool {
+	for _, r := range ft.Relays {
+		n := ov.Node(r.Addr)
+		if n == nil || !n.Alive() || n.ID() != r.ID {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildFixedForward seals a payload in layers over the fixed relays,
+// addressing each layer to the next relay's address.
+func BuildFixedForward(ft *FixedTunnel, dest id.ID, payload []byte, stream *rng.Stream) ([]byte, error) {
+	l := ft.Length()
+	if l == 0 {
+		return nil, fmt.Errorf("core: empty fixed tunnel")
+	}
+	w := wire.NewWriter(1 + id.Size + len(payload) + 8)
+	w.Byte(layerExit)
+	w.ID(dest)
+	w.Blob(payload)
+	sealed, err := crypt.Seal(ft.Keys[l-1], stream, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	for i := l - 2; i >= 0; i-- {
+		w := wire.NewWriter(1 + 8 + len(sealed) + 8)
+		w.Byte(layerRelay)
+		w.Int64(int64(ft.Relays[i+1].Addr))
+		w.Blob(sealed)
+		sealed, err = crypt.Seal(ft.Keys[i], stream, w.Bytes())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sealed, nil
+}
+
+// DeliverFixed walks the baseline tunnel. It fails with ErrRelayDead the
+// moment any relay is gone — there is no recovery, which is the point of
+// the comparison. On success it returns the exit payload and destination.
+func (svc *Service) DeliverFixed(ft *FixedTunnel, sealed []byte) (id.ID, []byte, error) {
+	blob := sealed
+	for i, relay := range ft.Relays {
+		n := svc.OV.Node(relay.Addr)
+		if n == nil || !n.Alive() || n.ID() != relay.ID {
+			return id.ID{}, nil, fmt.Errorf("%w: relay %d (%s)", ErrRelayDead, i, relay)
+		}
+		plain, err := crypt.Open(ft.Keys[i], blob)
+		if err != nil {
+			return id.ID{}, nil, fmt.Errorf("core: fixed relay %d: %w", i, err)
+		}
+		r := wire.NewReader(plain)
+		switch marker := r.Byte(); marker {
+		case layerRelay:
+			next := simnet.Addr(r.Int64())
+			inner := r.Blob()
+			if err := r.Done(); err != nil {
+				return id.ID{}, nil, err
+			}
+			if i+1 >= len(ft.Relays) || next != ft.Relays[i+1].Addr {
+				return id.ID{}, nil, fmt.Errorf("core: fixed tunnel layer order corrupt at relay %d", i)
+			}
+			blob = append([]byte(nil), inner...)
+		case layerExit:
+			dest := r.ID()
+			payload := r.Blob()
+			if err := r.Done(); err != nil {
+				return id.ID{}, nil, err
+			}
+			if i != len(ft.Relays)-1 {
+				return id.ID{}, nil, fmt.Errorf("core: exit layer at non-tail relay %d", i)
+			}
+			return dest, append([]byte(nil), payload...), nil
+		default:
+			return id.ID{}, nil, fmt.Errorf("core: fixed tunnel: unknown marker %d", marker)
+		}
+	}
+	return id.ID{}, nil, fmt.Errorf("core: fixed tunnel ended without exit layer")
+}

@@ -1,0 +1,176 @@
+// Package core implements TAP itself: anonymous tunnels decoupled from
+// fixed nodes (Zhu & Hu, ICPP 2004).
+//
+// A tunnel is a sequence of tunnel hops, each named by a hopid rather than
+// an address. The owner of a tunnel holds the hop anchors' secrets
+// (internal/tha); whichever node is currently numerically closest to a
+// hopid acts as that hop, so the tunnel survives node failures as long as
+// each anchor retains one live replica.
+//
+// Messages traverse a tunnel with mix-style layered encryption (Figure 1):
+// the initiator seals the payload innermost-first with the hop keys
+// K_l..K_1; each hop strips one layer with its anchor key, learns only the
+// next hopid, and forwards. Replies come back over a *different* tunnel
+// (§4) whose onion terminates in a bid — an identifier the initiator's own
+// node is numerically closest to — capped with a fake onion so the last
+// reply hop cannot tell it is last.
+//
+// Two delivery engines share these formats:
+//
+//   - the logical walker (walk.go) executes a tunnel traversal
+//     synchronously with full cryptography, for availability and
+//     anonymity experiments;
+//   - the networked engine (netdeliver.go) drives the same traversal
+//     through the discrete-event simulator hop by overlay hop, producing
+//     the transfer latencies of Figure 6, including the §5 optimization
+//     that embeds each hop node's address as a shortcut hint.
+//
+// The package also implements the "current tunneling" baseline
+// (baseline.go): fixed-node onion paths that die with any member node,
+// the comparison system in Figure 2.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tap/internal/id"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+	"tap/internal/tha"
+)
+
+// Tunnel is the owner's view of an anonymous tunnel: the ordered hop
+// anchor secrets. Only the owner ever holds this; the network sees hopids
+// and ciphertext.
+type Tunnel struct {
+	Hops []tha.Secret
+}
+
+// Length returns the number of hops (the paper's tunnel length l).
+func (t *Tunnel) Length() int { return len(t.Hops) }
+
+// HopIDs returns the hop identifiers in order.
+func (t *Tunnel) HopIDs() []id.ID {
+	out := make([]id.ID, len(t.Hops))
+	for i, h := range t.Hops {
+		out[i] = h.HopID
+	}
+	return out
+}
+
+// Form assembles a tunnel of length l from the owner's deployed anchor
+// pool, applying the §3.5 scatter rule (distinct hopid prefixes where the
+// pool allows).
+func Form(pool []tha.Secret, l int, b int, stream *rng.Stream) (*Tunnel, error) {
+	hops, err := tha.ChooseScattered(pool, l, b, stream)
+	if err != nil {
+		return nil, fmt.Errorf("core: forming tunnel: %w", err)
+	}
+	return &Tunnel{Hops: hops}, nil
+}
+
+// Errors shared across delivery engines.
+var (
+	// ErrHopLost means a hop anchor has no live replica left: the tunnel
+	// cannot function and must be re-formed.
+	ErrHopLost = errors.New("core: tunnel hop anchor lost (all replicas failed)")
+	// ErrRelayDead is the baseline's failure: a fixed relay node is gone.
+	ErrRelayDead = errors.New("core: fixed tunnel relay is dead")
+	// ErrNotHolder means the node asked to act as a hop does not hold the
+	// anchor — stale routing or an attack.
+	ErrNotHolder = errors.New("core: node does not hold the hop anchor")
+)
+
+// Service bundles the substrate a TAP deployment runs on. Net is optional:
+// logical walks do not need it.
+type Service struct {
+	OV  *pastry.Overlay
+	Dir *tha.Directory
+	Net *simnet.Network
+
+	// Stream supplies nonces and fake-onion padding.
+	Stream *rng.Stream
+
+	// HopFilter, when non-nil, lets fault-injection and adversary models
+	// decide whether the node at addr faithfully serves tunnel traffic
+	// for hopID. Returning false models a malicious or broken hop that
+	// silently drops the message (it cannot forge: layers are
+	// authenticated). Both delivery engines honor it.
+	HopFilter func(addr simnet.Addr, hopID id.ID) bool
+}
+
+// hopServes applies the filter (nil means all hops behave).
+func (svc *Service) hopServes(addr simnet.Addr, hopID id.ID) bool {
+	return svc.HopFilter == nil || svc.HopFilter(addr, hopID)
+}
+
+// ErrDropped reports a message silently discarded by a misbehaving hop
+// node. Detectors (internal/detect) turn this signal — visible to the
+// initiator only as a missing reply — into tunnel health estimates.
+var ErrDropped = errors.New("core: message dropped by misbehaving hop node")
+
+// NewService wires a service.
+func NewService(ov *pastry.Overlay, dir *tha.Directory, stream *rng.Stream) *Service {
+	return &Service{OV: ov, Dir: dir, Stream: stream}
+}
+
+// HintCache is the initiator-side cache mapping hopids to the addresses of
+// their current hop nodes (§5: "The initiator can maintain a cache of the
+// mappings between a tunnel hop hopid and the IP address of its tunnel hop
+// node, and it can periodically refresh the cache").
+type HintCache struct {
+	m map[id.ID]simnet.Addr
+}
+
+// NewHintCache returns an empty cache.
+func NewHintCache() *HintCache {
+	return &HintCache{m: make(map[id.ID]simnet.Addr)}
+}
+
+// Refresh resolves the current hop node of every hop in the tunnel and
+// records its address. In deployment this is a periodic background lookup;
+// experiments call it explicitly to model fresh or stale caches.
+func (c *HintCache) Refresh(svc *Service, t *Tunnel) error {
+	for _, h := range t.Hops {
+		node, ok := svc.Dir.HopNode(h.HopID)
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrHopLost, h.HopID.Short())
+		}
+		c.m[h.HopID] = node.Ref().Addr
+	}
+	return nil
+}
+
+// Get returns the cached address for hopID, or NoAddr.
+func (c *HintCache) Get(hopID id.ID) simnet.Addr {
+	if c == nil || c.m == nil {
+		return simnet.NoAddr
+	}
+	if a, ok := c.m[hopID]; ok {
+		return a
+	}
+	return simnet.NoAddr
+}
+
+// hintsFor collects the per-hop hints for a tunnel; a nil cache yields all
+// NoAddr (the basic, unoptimized mode).
+func hintsFor(c *HintCache, t *Tunnel) []simnet.Addr {
+	out := make([]simnet.Addr, len(t.Hops))
+	for i, h := range t.Hops {
+		out[i] = c.Get(h.HopID)
+	}
+	return out
+}
+
+// BuildForwardWithCache builds the §5 optimized forward message, taking
+// every hop's address hint from the cache.
+func BuildForwardWithCache(t *Tunnel, cache *HintCache, dest id.ID, payload []byte, stream *rng.Stream) (*Envelope, error) {
+	return BuildForward(t, hintsFor(cache, t), dest, payload, stream)
+}
+
+// BuildReplyWithCache builds the optimized reply tunnel with cached hints.
+func BuildReplyWithCache(t *Tunnel, cache *HintCache, bid id.ID, stream *rng.Stream) (*ReplyTunnel, error) {
+	return BuildReply(t, hintsFor(cache, t), bid, stream)
+}

@@ -1,0 +1,681 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"tap/internal/id"
+	"tap/internal/onionroute"
+	"tap/internal/past"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/tha"
+)
+
+// sys bundles a full TAP stack for tests.
+type sys struct {
+	ov   *pastry.Overlay
+	mgr  *past.Manager
+	dir  *tha.Directory
+	svc  *Service
+	root *rng.Stream
+}
+
+func newSys(t testing.TB, n, k int, seed uint64) *sys {
+	t.Helper()
+	root := rng.New(seed)
+	ov, err := pastry.Build(pastry.DefaultConfig(), n, root.Split("overlay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := past.NewManager(ov, k)
+	dir := tha.NewDirectory(ov, mgr)
+	svc := NewService(ov, dir, root.Split("svc"))
+	return &sys{ov: ov, mgr: mgr, dir: dir, svc: svc, root: root}
+}
+
+func (s *sys) newInitiator(t testing.TB, label string) *Initiator {
+	t.Helper()
+	node := s.ov.RandomLive(s.root.Split("pick-" + label))
+	in, err := NewInitiator(s.svc, node, s.root.Split("init-"+label))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func (s *sys) readyInitiator(t testing.TB, label string, anchors int) *Initiator {
+	t.Helper()
+	in := s.newInitiator(t, label)
+	if err := in.DeployDirect(anchors); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestFormRespectsLengthAndScatter(t *testing.T) {
+	s := newSys(t, 200, 3, 1)
+	in := s.readyInitiator(t, "a", 30)
+	tun, err := in.FormTunnel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tun.Length() != 5 {
+		t.Fatalf("length %d", tun.Length())
+	}
+	if div := tha.PrefixDiversity(tun.Hops, 4); div < 3 {
+		t.Fatalf("prefix diversity %d suspiciously low for a 30-anchor pool", div)
+	}
+	ids := tun.HopIDs()
+	seen := map[id.ID]bool{}
+	for _, h := range ids {
+		if seen[h] {
+			t.Fatalf("duplicate hop")
+		}
+		seen[h] = true
+	}
+}
+
+func TestFormFailsOnTinyPool(t *testing.T) {
+	s := newSys(t, 50, 3, 2)
+	in := s.readyInitiator(t, "a", 3)
+	if _, err := in.FormTunnel(5); err == nil {
+		t.Fatalf("tunnel longer than pool accepted")
+	}
+}
+
+func TestBuildForwardManualPeel(t *testing.T) {
+	// Verify the exact Figure 1 structure by peeling layers by hand.
+	s := newSys(t, 100, 3, 3)
+	in := s.readyInitiator(t, "a", 10)
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := id.HashString("file-D")
+	payload := []byte("m")
+	env, err := BuildForward(tun, nil, dest, payload, s.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.HopID != tun.Hops[0].HopID {
+		t.Fatalf("envelope addressed to %s, want first hop", env.HopID.Short())
+	}
+	l1, err := OpenForwardLayer(tun.Hops[0].Anchor, env.Sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.IsExit || l1.Next != tun.Hops[1].HopID {
+		t.Fatalf("layer 1 should relay to hop 2")
+	}
+	l2, err := OpenForwardLayer(tun.Hops[1].Anchor, l1.Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.IsExit || l2.Next != tun.Hops[2].HopID {
+		t.Fatalf("layer 2 should relay to hop 3")
+	}
+	l3, err := OpenForwardLayer(tun.Hops[2].Anchor, l2.Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l3.IsExit || l3.Dest != dest || !bytes.Equal(l3.Payload, payload) {
+		t.Fatalf("exit layer mismatch")
+	}
+	// Out-of-order peeling fails.
+	if _, err := OpenForwardLayer(tun.Hops[1].Anchor, env.Sealed); err == nil {
+		t.Fatalf("hop 2 opened hop 1's layer")
+	}
+}
+
+func TestDeliverForwardEndToEnd(t *testing.T) {
+	s := newSys(t, 300, 3, 4)
+	in := s.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := id.HashString("the-file")
+	payload := []byte("request body")
+	env, err := BuildForward(tun, nil, dest, payload, s.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.svc.DeliverForward(in.Node().Ref().Addr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatalf("payload corrupted")
+	}
+	if res.Dest != dest {
+		t.Fatalf("dest mismatch")
+	}
+	if res.DestNode.ID != s.ov.OwnerOf(dest).ID() {
+		t.Fatalf("payload landed on %s, owner is %s", res.DestNode.ID.Short(), s.ov.OwnerOf(dest).ID().Short())
+	}
+	if len(res.Stats.HopNodes) != 5 {
+		t.Fatalf("traversed %d hop nodes", len(res.Stats.HopNodes))
+	}
+	// Each hop node must be the owner of its hopid.
+	for i, h := range tun.Hops {
+		if res.Stats.HopNodes[i].ID != s.ov.OwnerOf(h.HopID).ID() {
+			t.Fatalf("hop %d served by wrong node", i)
+		}
+	}
+	if res.Stats.OverlayHops < 5 {
+		t.Fatalf("overlay hops %d implausibly low", res.Stats.OverlayHops)
+	}
+}
+
+func TestForwardSurvivesHopNodeFailure(t *testing.T) {
+	s := newSys(t, 300, 3, 5)
+	in := s.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the current hop node of every hop, one by one (sequentially, so
+	// replicas migrate).
+	for _, h := range tun.Hops {
+		node, ok := s.dir.HopNode(h.HopID)
+		if !ok {
+			t.Fatalf("hop missing before failure")
+		}
+		if err := s.ov.Fail(node.Ref().Addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env, err := BuildForward(tun, nil, id.HashString("d"), []byte("still works"), s.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.svc.DeliverForward(in.Node().Ref().Addr, env)
+	if err != nil {
+		t.Fatalf("tunnel did not survive hop-node failures: %v", err)
+	}
+	if string(res.Payload) != "still works" {
+		t.Fatalf("payload corrupted")
+	}
+}
+
+func TestForwardFailsWhenAnchorLost(t *testing.T) {
+	s := newSys(t, 300, 3, 6)
+	in := s.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simultaneously kill the entire replica set of hop 2.
+	s.mgr.BeginBatch()
+	for _, addr := range s.dir.ReplicaAddrs(tun.Hops[2].HopID) {
+		if err := s.ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mgr.EndBatch()
+
+	env, err := BuildForward(tun, nil, id.HashString("d"), []byte("x"), s.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.svc.DeliverForward(in.Node().Ref().Addr, env)
+	if !errors.Is(err, ErrHopLost) {
+		t.Fatalf("err = %v, want ErrHopLost", err)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	s := newSys(t, 300, 3, 7)
+	in := s.readyInitiator(t, "a", 20)
+	fwd, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid := in.NewBid()
+	rt, err := BuildReply(rep, nil, bid, s.root.Split("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode/decode as it would travel inside a forward payload.
+	rt2, err := DecodeReplyTunnel(rt.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A responder somewhere sends data back over the reply tunnel.
+	responder := s.ov.RandomLive(s.root.Split("resp"))
+	data := []byte("the reply payload")
+	res, err := s.svc.DeliverReply(responder.Ref().Addr, &ReplyEnvelope{
+		Target: rt2.First, Hint: rt2.FirstHint, Onion: rt2.Onion, Data: data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LandedNode.ID != in.Node().ID() {
+		t.Fatalf("reply landed on %s, want initiator %s", res.LandedNode.ID.Short(), in.Node().ID().Short())
+	}
+	if res.Target != bid {
+		t.Fatalf("final target %s, want bid", res.Target.Short())
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatalf("reply data corrupted")
+	}
+	if len(res.Remainder) != FakeOnionSize {
+		t.Fatalf("remainder %d bytes, want fake onion of %d", len(res.Remainder), FakeOnionSize)
+	}
+	if len(res.Stats.HopNodes) != 3 {
+		t.Fatalf("reply traversed %d hops", len(res.Stats.HopNodes))
+	}
+	_ = fwd
+}
+
+func TestReplySurvivesHopFailure(t *testing.T) {
+	s := newSys(t, 300, 3, 8)
+	in := s.readyInitiator(t, "a", 20)
+	rep, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid := in.NewBid()
+	rt, err := BuildReply(rep, nil, bid, s.root.Split("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range rep.Hops {
+		node, ok := s.dir.HopNode(h.HopID)
+		if !ok {
+			t.Fatal("hop missing")
+		}
+		if err := s.ov.Fail(node.Ref().Addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	responder := s.ov.RandomLive(s.root.Split("resp"))
+	res, err := s.svc.DeliverReply(responder.Ref().Addr, &ReplyEnvelope{
+		Target: rt.First, Hint: rt.FirstHint, Onion: rt.Onion, Data: []byte("d"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LandedNode.ID != in.Node().ID() {
+		t.Fatalf("reply lost after hop-node failures")
+	}
+}
+
+func TestReplyMisroutesWhenAnchorLost(t *testing.T) {
+	s := newSys(t, 300, 3, 9)
+	in := s.readyInitiator(t, "a", 20)
+	rep, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid := in.NewBid()
+	rt, err := BuildReply(rep, nil, bid, s.root.Split("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destroy the middle hop's whole replica set simultaneously.
+	s.mgr.BeginBatch()
+	for _, addr := range s.dir.ReplicaAddrs(rep.Hops[1].HopID) {
+		if err := s.ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mgr.EndBatch()
+	responder := s.ov.RandomLive(s.root.Split("resp"))
+	res, err := s.svc.DeliverReply(responder.Ref().Addr, &ReplyEnvelope{
+		Target: rt.First, Hint: rt.FirstHint, Onion: rt.Onion, Data: []byte("d"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The walk terminates at the owner of the lost hopid, which cannot
+	// decrypt anything — and is not the initiator.
+	if res.LandedNode.ID == in.Node().ID() {
+		t.Fatalf("reply reached initiator despite a lost anchor")
+	}
+	if len(res.Stats.HopNodes) != 1 {
+		t.Fatalf("expected exactly the first hop to process, got %d", len(res.Stats.HopNodes))
+	}
+}
+
+func TestHintOptimizationReducesHops(t *testing.T) {
+	s := newSys(t, 500, 3, 10)
+	in := s.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := id.HashString("d")
+	basicEnv, err := BuildForward(tun, nil, dest, []byte("x"), s.root.Split("b1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := s.svc.DeliverForward(in.Node().Ref().Addr, basicEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewHintCache()
+	if err := cache.Refresh(s.svc, tun); err != nil {
+		t.Fatal(err)
+	}
+	optEnv, err := BuildForward(tun, hintsFor(cache, tun), dest, []byte("x"), s.root.Split("b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := s.svc.DeliverForward(in.Node().Ref().Addr, optEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats.HintHits != 5 {
+		t.Fatalf("hint hits %d, want 5", opt.Stats.HintHits)
+	}
+	if opt.Stats.OverlayHops >= basic.Stats.OverlayHops {
+		t.Fatalf("optimization did not reduce hops: %d vs %d", opt.Stats.OverlayHops, basic.Stats.OverlayHops)
+	}
+}
+
+func TestStaleHintsFallBack(t *testing.T) {
+	s := newSys(t, 400, 3, 11)
+	in := s.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewHintCache()
+	if err := cache.Refresh(s.svc, tun); err != nil {
+		t.Fatal(err)
+	}
+	// Kill two of the cached hop nodes: their hints go stale.
+	for _, h := range tun.Hops[:2] {
+		if err := s.ov.Fail(cache.Get(h.HopID)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env, err := BuildForward(tun, hintsFor(cache, tun), id.HashString("d"), []byte("x"), s.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.svc.DeliverForward(in.Node().Ref().Addr, env)
+	if err != nil {
+		t.Fatalf("stale hints broke delivery: %v", err)
+	}
+	if res.Stats.HintMisses != 2 || res.Stats.HintHits != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", res.Stats.HintHits, res.Stats.HintMisses)
+	}
+}
+
+func TestBaselineDeliverAndDie(t *testing.T) {
+	s := newSys(t, 200, 3, 12)
+	ft, err := FormFixed(s.ov, 5, s.root.Split("ft"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := id.HashString("d")
+	sealed, err := BuildFixedForward(ft, dest, []byte("baseline"), s.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDest, payload, err := s.svc.DeliverFixed(ft, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDest != dest || string(payload) != "baseline" {
+		t.Fatalf("baseline delivery mismatch")
+	}
+	if !ft.Alive(s.ov) {
+		t.Fatalf("Alive false with all relays up")
+	}
+	// Kill one relay: the tunnel is dead, permanently.
+	if err := s.ov.Fail(ft.Relays[2].Addr); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Alive(s.ov) {
+		t.Fatalf("Alive true with a dead relay")
+	}
+	if _, _, err := s.svc.DeliverFixed(ft, sealed); !errors.Is(err, ErrRelayDead) {
+		t.Fatalf("err = %v, want ErrRelayDead", err)
+	}
+}
+
+func TestFormFixedErrors(t *testing.T) {
+	s := newSys(t, 3, 3, 13)
+	if _, err := FormFixed(s.ov, 0, s.root); err == nil {
+		t.Fatalf("zero-length fixed tunnel accepted")
+	}
+	if _, err := FormFixed(s.ov, 10, s.root); err == nil {
+		t.Fatalf("oversized fixed tunnel accepted")
+	}
+}
+
+func TestBootstrapViaOnionRouting(t *testing.T) {
+	s := newSys(t, 200, 3, 14)
+	pki := onionroute.NewPKI(s.root.Split("pki"))
+	in := s.newInitiator(t, "a")
+	if err := in.Bootstrap(5, pki, 3); err != nil {
+		t.Fatal(err)
+	}
+	if in.PoolSize() != 5 {
+		t.Fatalf("pool %d after bootstrap", in.PoolSize())
+	}
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := BuildForward(tun, nil, id.HashString("d"), []byte("boot"), s.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.svc.DeliverForward(in.Node().Ref().Addr, env); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeployViaTunnel(t *testing.T) {
+	s := newSys(t, 200, 3, 15)
+	in := s.readyInitiator(t, "a", 5)
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DeployViaTunnel(tun, 4); err != nil {
+		t.Fatal(err)
+	}
+	if in.PoolSize() != 9 {
+		t.Fatalf("pool %d, want 9", in.PoolSize())
+	}
+	// All deployed anchors are fetchable by their hop nodes.
+	for _, sec := range in.Pool() {
+		if !s.dir.Available(sec.HopID) {
+			t.Fatalf("anchor %s not available", sec.HopID.Short())
+		}
+	}
+}
+
+func TestDeleteAnchorsPrunesPool(t *testing.T) {
+	s := newSys(t, 150, 3, 16)
+	in := s.readyInitiator(t, "a", 10)
+	tun, err := in.FormTunnel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DeleteAnchors(tun); err != nil {
+		t.Fatal(err)
+	}
+	if in.PoolSize() != 6 {
+		t.Fatalf("pool %d after deleting 4, want 6", in.PoolSize())
+	}
+	for _, h := range tun.Hops {
+		if s.dir.Available(h.HopID) {
+			t.Fatalf("deleted anchor %s still available", h.HopID.Short())
+		}
+	}
+}
+
+func TestSingleSymmetricOpPerHop(t *testing.T) {
+	// §4: "each tunnel hop performs only a single symmetric key operation
+	// per message that is processed" — l ops for an l-hop traversal, on
+	// both directions.
+	s := newSys(t, 300, 3, 29)
+	in := s.readyInitiator(t, "a", 20)
+	for _, l := range []int{1, 3, 5} {
+		tun, err := in.FormTunnel(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := BuildForward(tun, nil, id.HashString("d"), []byte("m"), s.root.SplitN("b", l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.svc.DeliverForward(in.Node().Ref().Addr, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.CryptoOps != l {
+			t.Fatalf("l=%d forward: %d crypto ops", l, res.Stats.CryptoOps)
+		}
+		rep, err := in.FormTunnel(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := BuildReply(rep, nil, in.NewBid(), s.root.SplitN("r", l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rres, err := s.svc.DeliverReply(s.ov.RandomLive(s.root.SplitN("resp", l)).Ref().Addr, &ReplyEnvelope{
+			Target: rt.First, Hint: rt.FirstHint, Onion: rt.Onion, Data: []byte("d"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rres.Stats.CryptoOps != l {
+			t.Fatalf("l=%d reply: %d crypto ops", l, rres.Stats.CryptoOps)
+		}
+	}
+}
+
+func TestDeleteAnchorsSparesSharedAnchors(t *testing.T) {
+	// Two tunnels formed from a small pool overlap; retiring one must not
+	// break the other.
+	s := newSys(t, 200, 3, 27)
+	in := s.readyInitiator(t, "a", 4)
+	t1, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := 0
+	t1Set := map[id.ID]bool{}
+	for _, h := range t1.Hops {
+		t1Set[h.HopID] = true
+	}
+	for _, h := range t2.Hops {
+		if t1Set[h.HopID] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Skip("pool draw produced disjoint tunnels; nothing to test")
+	}
+	if err := in.DeleteAnchors(t1); err != nil {
+		t.Fatal(err)
+	}
+	// Every anchor of t2 must still be deployed.
+	for _, h := range t2.Hops {
+		if !s.dir.Available(h.HopID) {
+			t.Fatalf("retiring t1 destroyed t2's anchor %s", h.HopID.Short())
+		}
+	}
+	// And t2 still carries traffic.
+	env, err := BuildForward(t2, nil, id.HashString("d"), []byte("alive"), s.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.svc.DeliverForward(in.Node().Ref().Addr, env); err != nil {
+		t.Fatalf("t2 broken after t1 retirement: %v", err)
+	}
+	// Retiring t2 afterwards removes everything.
+	if err := in.DeleteAnchors(t2); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range t2.Hops {
+		if s.dir.Available(h.HopID) {
+			t.Fatalf("anchor %s survived final retirement", h.HopID.Short())
+		}
+	}
+}
+
+func TestNewBidOwnedByInitiator(t *testing.T) {
+	s := newSys(t, 300, 3, 17)
+	in := s.readyInitiator(t, "a", 5)
+	for i := 0; i < 50; i++ {
+		bid := in.NewBid()
+		if s.ov.OwnerOf(bid).ID() != in.Node().ID() {
+			t.Fatalf("bid %s not owned by initiator", bid.Short())
+		}
+		if bid == in.Node().ID() {
+			t.Fatalf("bid equals node id; trivially identifying")
+		}
+	}
+}
+
+func TestPoolPrunesLostAnchors(t *testing.T) {
+	s := newSys(t, 200, 3, 18)
+	in := s.readyInitiator(t, "a", 6)
+	victim := in.Pool()[0]
+	s.mgr.BeginBatch()
+	for _, addr := range s.dir.ReplicaAddrs(victim.HopID) {
+		if err := s.ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mgr.EndBatch()
+	if in.PoolSize() != 5 {
+		t.Fatalf("pool %d after losing one anchor, want 5", in.PoolSize())
+	}
+}
+
+func TestDeployPayloadRoundTrip(t *testing.T) {
+	s := rng.New(19)
+	g, _ := tha.NewGenerator([]byte("n"), s)
+	sec, _ := g.Generate(s)
+	ins := onionroute.Instruction{Anchor: sec.Anchor, Nonce: 0xfeedface}
+	got, err := decodeDeployPayload(encodeDeployPayload(ins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Anchor != ins.Anchor || got.Nonce != ins.Nonce {
+		t.Fatalf("deploy payload round trip mismatch")
+	}
+	if _, err := decodeDeployPayload([]byte("short")); err == nil {
+		t.Fatalf("short payload accepted")
+	}
+}
+
+func TestEnvelopeSizes(t *testing.T) {
+	s := newSys(t, 100, 3, 20)
+	in := s.readyInitiator(t, "a", 10)
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	env, err := BuildForward(tun, nil, id.HashString("d"), payload, s.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three layers of sealing add 3*Overhead plus framing; the envelope
+	// must be a little larger than the payload but far from double.
+	if env.SizeBytes() < 1000 || env.SizeBytes() > 1400 {
+		t.Fatalf("envelope size %d implausible for 1000-byte payload", env.SizeBytes())
+	}
+}

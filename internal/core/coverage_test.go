@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tap/internal/id"
+	"tap/internal/simnet"
+)
+
+func TestHintCacheNilAndMissing(t *testing.T) {
+	var nilCache *HintCache
+	if nilCache.Get(id.HashString("x")) != simnet.NoAddr {
+		t.Fatalf("nil cache should return NoAddr")
+	}
+	c := NewHintCache()
+	if c.Get(id.HashString("x")) != simnet.NoAddr {
+		t.Fatalf("empty cache should return NoAddr")
+	}
+}
+
+func TestHintCacheRefreshFailsOnLostAnchor(t *testing.T) {
+	s := newSys(t, 200, 3, 81)
+	in := s.readyInitiator(t, "a", 8)
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mgr.BeginBatch()
+	for _, addr := range s.dir.ReplicaAddrs(tun.Hops[1].HopID) {
+		if err := s.ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mgr.EndBatch()
+	cache := NewHintCache()
+	if err := cache.Refresh(s.svc, tun); !errors.Is(err, ErrHopLost) {
+		t.Fatalf("Refresh err = %v, want ErrHopLost", err)
+	}
+}
+
+func TestBuildWithCacheHelpers(t *testing.T) {
+	s := newSys(t, 300, 3, 82)
+	in := s.readyInitiator(t, "a", 20)
+	fwd, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewHintCache()
+	if err := cache.Refresh(s.svc, fwd); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Refresh(s.svc, rep); err != nil {
+		t.Fatal(err)
+	}
+	env, err := BuildForwardWithCache(fwd, cache, id.HashString("d"), []byte("x"), s.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Hint == simnet.NoAddr {
+		t.Fatalf("cached build produced no first-hop hint")
+	}
+	res, err := s.svc.DeliverForward(in.Node().Ref().Addr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.HintHits != 3 {
+		t.Fatalf("hint hits %d", res.Stats.HintHits)
+	}
+
+	bid := in.NewBid()
+	rt, err := BuildReplyWithCache(rep, cache, bid, s.root.Split("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.FirstHint == simnet.NoAddr {
+		t.Fatalf("cached reply build produced no first-hop hint")
+	}
+	rres, err := s.svc.DeliverReply(s.ov.RandomLive(s.root.Split("resp")).Ref().Addr, &ReplyEnvelope{
+		Target: rt.First, Hint: rt.FirstHint, Onion: rt.Onion, Data: []byte("d"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.LandedNode.ID != in.Node().ID() {
+		t.Fatalf("cached reply lost")
+	}
+	if rres.Stats.HintHits == 0 {
+		t.Fatalf("reply path used no hints")
+	}
+}
+
+func TestFormDisjointTunnels(t *testing.T) {
+	s := newSys(t, 250, 3, 83)
+	in := s.readyInitiator(t, "a", 12)
+	tunnels, err := in.FormDisjointTunnels(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tunnels) != 3 {
+		t.Fatalf("got %d tunnels", len(tunnels))
+	}
+	seen := map[id.ID]bool{}
+	for _, tun := range tunnels {
+		for _, h := range tun.Hops {
+			if seen[h.HopID] {
+				t.Fatalf("tunnels share anchor %s", h.HopID.Short())
+			}
+			seen[h.HopID] = true
+		}
+	}
+	// Pool too small for one more disjoint set.
+	if _, err := in.FormDisjointTunnels(4, 4); err == nil {
+		t.Fatalf("oversubscribed disjoint formation accepted")
+	}
+}
+
+func TestServiceAccessor(t *testing.T) {
+	s := newSys(t, 100, 3, 84)
+	in := s.newInitiator(t, "a")
+	if in.Service() != s.svc {
+		t.Fatalf("Service accessor mismatch")
+	}
+}
+
+func TestDeliverReplyFromDeadResponder(t *testing.T) {
+	s := newSys(t, 200, 3, 85)
+	in := s.readyInitiator(t, "a", 10)
+	rep, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := BuildReply(rep, nil, in.NewBid(), s.root.Split("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := s.ov.RandomLive(s.root.Split("dead"))
+	if dead.ID() == in.Node().ID() {
+		t.Skip("degenerate draw")
+	}
+	if err := s.ov.Fail(dead.Ref().Addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.svc.DeliverReply(dead.Ref().Addr, &ReplyEnvelope{
+		Target: rt.First, Onion: rt.Onion, Hint: simnet.NoAddr, Data: []byte("d"),
+	}); err == nil {
+		t.Fatalf("reply from dead responder accepted")
+	}
+}
+
+func TestBuildForwardValidation(t *testing.T) {
+	s := newSys(t, 100, 3, 86)
+	in := s.readyInitiator(t, "a", 6)
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &Tunnel{}
+	if _, err := BuildForward(empty, nil, id.HashString("d"), nil, s.root); err == nil {
+		t.Fatalf("empty tunnel accepted")
+	}
+	if _, err := BuildForward(tun, make([]simnet.Addr, 2), id.HashString("d"), nil, s.root); err == nil {
+		t.Fatalf("hint count mismatch accepted")
+	}
+	if _, err := BuildReply(empty, nil, id.HashString("b"), s.root); err == nil {
+		t.Fatalf("empty reply tunnel accepted")
+	}
+	if _, err := BuildReply(tun, make([]simnet.Addr, 1), id.HashString("b"), s.root); err == nil {
+		t.Fatalf("reply hint mismatch accepted")
+	}
+}

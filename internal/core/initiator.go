@@ -1,0 +1,282 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tap/internal/id"
+	"tap/internal/onionroute"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/tha"
+)
+
+// Initiator is a node's client-side TAP state: its anchor generator, the
+// pool of anchors it has deployed, and the bookkeeping for reply bids.
+type Initiator struct {
+	svc    *Service
+	node   *pastry.Node
+	gen    *tha.Generator
+	pool   []tha.Secret
+	stream *rng.Stream
+	// active tracks formed tunnels so DeleteAnchors never destroys an
+	// anchor another live tunnel still rides on (tunnels formed from one
+	// pool may share anchors).
+	active []*Tunnel
+}
+
+// NewInitiator creates the TAP client for a node. stream feeds anchor and
+// nonce generation and must be private to this initiator.
+func NewInitiator(svc *Service, node *pastry.Node, stream *rng.Stream) (*Initiator, error) {
+	nid := node.ID()
+	gen, err := tha.NewGenerator(nid[:], stream)
+	if err != nil {
+		return nil, err
+	}
+	return &Initiator{svc: svc, node: node, gen: gen, stream: stream}, nil
+}
+
+// Node returns the initiator's own overlay node.
+func (in *Initiator) Node() *pastry.Node { return in.node }
+
+// Service returns the TAP service this initiator runs on.
+func (in *Initiator) Service() *Service { return in.svc }
+
+// Pool returns the live anchor pool (anchors whose replicas all failed are
+// pruned on access — the owner notices a dead anchor when forming or using
+// a tunnel).
+func (in *Initiator) Pool() []tha.Secret {
+	live := in.pool[:0]
+	for _, s := range in.pool {
+		if in.svc.Dir.Available(s.HopID) {
+			live = append(live, s)
+		}
+	}
+	in.pool = live
+	return in.pool
+}
+
+// PoolSize returns the number of live anchors available.
+func (in *Initiator) PoolSize() int { return len(in.Pool()) }
+
+// generate mints n fresh secrets, paying CPU puzzles if the directory
+// demands them, and returns matching deployment instructions.
+func (in *Initiator) generate(n int) ([]tha.Secret, []onionroute.Instruction, error) {
+	secrets := make([]tha.Secret, n)
+	instrs := make([]onionroute.Instruction, n)
+	for i := 0; i < n; i++ {
+		sec, err := in.gen.Generate(in.stream)
+		if err != nil {
+			return nil, nil, err
+		}
+		secrets[i] = sec
+		instrs[i] = onionroute.Instruction{Anchor: sec.Anchor}
+		if in.svc.Dir.PuzzleDifficulty > 0 {
+			instrs[i].Nonce = in.svc.Dir.Puzzle(sec.HopID).Mint()
+		}
+	}
+	return secrets, instrs, nil
+}
+
+// Bootstrap deploys the initiator's first n anchors through a classic
+// Onion Routing path (§3.3), retrying over fresh paths when relays die
+// mid-deployment. Until this succeeds the initiator cannot form any TAP
+// tunnel.
+func (in *Initiator) Bootstrap(n int, pki *onionroute.PKI, maxRetries int) error {
+	secrets, instrs, err := in.generate(n)
+	if err != nil {
+		return err
+	}
+	if _, err := onionroute.Deploy(in.svc.OV, in.svc.Dir, pki, instrs, in.stream, maxRetries); err != nil {
+		return fmt.Errorf("core: bootstrap: %w", err)
+	}
+	in.pool = append(in.pool, secrets...)
+	return nil
+}
+
+// DeployViaTunnel deploys n more anchors through an existing tunnel: each
+// deployment instruction travels the tunnel as an ordinary forward message
+// whose exit destination is the new anchor's own hopid, so the node that
+// will own the anchor receives and stores it without learning the
+// depositor. Requires a working tunnel.
+func (in *Initiator) DeployViaTunnel(t *Tunnel, n int) error {
+	secrets, instrs, err := in.generate(n)
+	if err != nil {
+		return err
+	}
+	for i := range secrets {
+		payload := encodeDeployPayload(instrs[i])
+		env, err := BuildForward(t, nil, secrets[i].HopID, payload, in.stream)
+		if err != nil {
+			return err
+		}
+		res, err := in.svc.DeliverForward(in.node.Ref().Addr, env)
+		if err != nil {
+			return fmt.Errorf("core: deploy via tunnel: %w", err)
+		}
+		// The destination node executes the deployment.
+		ins, err := decodeDeployPayload(res.Payload)
+		if err != nil {
+			return err
+		}
+		if err := in.svc.Dir.Deploy(ins.Anchor, ins.Nonce); err != nil {
+			return fmt.Errorf("core: deploy via tunnel: %w", err)
+		}
+		in.pool = append(in.pool, secrets[i])
+	}
+	return nil
+}
+
+// DeployDirect stores n anchors without the bootstrap ceremony.
+// Experiments use it: Figures 2–5 measure tunnel availability and
+// anonymity, which are independent of how anchors got deployed, and
+// skipping the onion cryptography keeps 10^4-node trials fast.
+func (in *Initiator) DeployDirect(n int) error {
+	secrets, instrs, err := in.generate(n)
+	if err != nil {
+		return err
+	}
+	for i := range secrets {
+		if err := in.svc.Dir.Deploy(secrets[i].Anchor, instrs[i].Nonce); err != nil {
+			return err
+		}
+		in.pool = append(in.pool, secrets[i])
+	}
+	return nil
+}
+
+// FormTunnel assembles a tunnel of length l from the live pool.
+func (in *Initiator) FormTunnel(l int) (*Tunnel, error) {
+	t, err := Form(in.Pool(), l, in.svc.OV.Config().B, in.stream)
+	if err != nil {
+		return nil, err
+	}
+	in.active = append(in.active, t)
+	return t, nil
+}
+
+// FormDisjointTunnels assembles count tunnels of length l whose anchor
+// sets are pairwise disjoint. The §4 exchange needs this: the reply
+// tunnel must be "a different tunnel" from the forward tunnel, so that an
+// adversary cannot correlate a request with its reply through a shared
+// hop. The pool must hold at least count·l live anchors.
+func (in *Initiator) FormDisjointTunnels(count, l int) ([]*Tunnel, error) {
+	pool := in.Pool()
+	if len(pool) < count*l {
+		return nil, fmt.Errorf("core: pool of %d anchors cannot form %d disjoint %d-hop tunnels", len(pool), count, l)
+	}
+	remaining := append([]tha.Secret(nil), pool...)
+	out := make([]*Tunnel, 0, count)
+	for i := 0; i < count; i++ {
+		t, err := Form(remaining, l, in.svc.OV.Config().B, in.stream)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		in.active = append(in.active, t)
+		used := make(map[id.ID]struct{}, l)
+		for _, h := range t.Hops {
+			used[h.HopID] = struct{}{}
+		}
+		kept := remaining[:0]
+		for _, s := range remaining {
+			if _, u := used[s.HopID]; !u {
+				kept = append(kept, s)
+			}
+		}
+		remaining = kept
+	}
+	return out, nil
+}
+
+// DeleteAnchors retires the given tunnel: its anchors are deleted with
+// their password proofs and dropped from the pool — the owner's half of
+// the Fig 5 refresh policy. Anchors that another of this initiator's
+// still-active tunnels rides on are spared (they stay deployed and stay
+// in the pool) so retiring one tunnel never breaks another.
+func (in *Initiator) DeleteAnchors(t *Tunnel) error {
+	// Unregister t, then collect anchors still in use elsewhere.
+	kept := in.active[:0]
+	for _, a := range in.active {
+		if a != t {
+			kept = append(kept, a)
+		}
+	}
+	in.active = kept
+	inUse := make(map[id.ID]struct{})
+	for _, a := range in.active {
+		for _, h := range a.Hops {
+			inUse[h.HopID] = struct{}{}
+		}
+	}
+
+	var firstErr error
+	drop := make(map[id.ID]struct{}, len(t.Hops))
+	for _, h := range t.Hops {
+		if _, used := inUse[h.HopID]; used {
+			continue
+		}
+		drop[h.HopID] = struct{}{}
+		if err := in.svc.Dir.Delete(h.HopID, h.PW); err != nil && !errors.Is(err, tha.ErrNotFound) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	keptPool := in.pool[:0]
+	for _, s := range in.pool {
+		if _, gone := drop[s.HopID]; !gone {
+			keptPool = append(keptPool, s)
+		}
+	}
+	in.pool = keptPool
+	return firstErr
+}
+
+// NewBid picks an identifier the initiator's node currently owns, without
+// being the node id itself: the low bits are randomized as widely as
+// ownership allows. The §4 condition — "I is the node whose nodeId is
+// numerically closest to bid" — guarantees replies route home.
+func (in *Initiator) NewBid() id.ID {
+	self := in.node.ID()
+	for bits := 128; bits >= 8; bits /= 2 {
+		bid := self
+		// Randomize the trailing `bits` bits.
+		start := id.Size - bits/8
+		in.stream.Bytes(bid[start:])
+		if bid != self && in.svc.OV.OwnerOf(bid).ID() == self {
+			return bid
+		}
+	}
+	return self
+}
+
+// --- deploy payload framing ----------------------------------------------
+
+// Deploy payloads are the application protocol for DeployViaTunnel.
+func encodeDeployPayload(ins onionroute.Instruction) []byte {
+	// Reuse the anchor wire layout: hopid, key, pw hash, nonce.
+	buf := make([]byte, 0, tha.WireSize+8)
+	buf = append(buf, ins.Anchor.HopID[:]...)
+	buf = append(buf, ins.Anchor.Key[:]...)
+	buf = append(buf, ins.Anchor.PWHash[:]...)
+	for i := 7; i >= 0; i-- {
+		buf = append(buf, byte(ins.Nonce>>(8*i)))
+	}
+	return buf
+}
+
+func decodeDeployPayload(b []byte) (onionroute.Instruction, error) {
+	var ins onionroute.Instruction
+	if len(b) != tha.WireSize+8 {
+		return ins, fmt.Errorf("core: deploy payload length %d", len(b))
+	}
+	copy(ins.Anchor.HopID[:], b[:id.Size])
+	b = b[id.Size:]
+	copy(ins.Anchor.Key[:], b[:len(ins.Anchor.Key)])
+	b = b[len(ins.Anchor.Key):]
+	copy(ins.Anchor.PWHash[:], b[:len(ins.Anchor.PWHash)])
+	b = b[len(ins.Anchor.PWHash):]
+	for _, by := range b {
+		ins.Nonce = ins.Nonce<<8 | uint64(by)
+	}
+	return ins, nil
+}

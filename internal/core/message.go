@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"tap/internal/crypt"
+	"tap/internal/id"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+	"tap/internal/tha"
+	"tap/internal/wire"
+)
+
+// Layer markers inside forward-tunnel ciphertext.
+const (
+	layerRelay byte = 1
+	layerExit  byte = 2
+)
+
+// Envelope is the wire unit of a forward tunnel: addressed to a hopid,
+// optionally carrying the §5 address hint for that hop, and a sealed body
+// only the hop's anchor key opens.
+//
+// Pad is link padding appended by relaying hops: each peeled layer
+// shrinks the sealed body by the layer overhead, so without padding an
+// observer could read a message's position in its tunnel off its length.
+// Hops that strip a layer pad the envelope back to the size they
+// received, keeping the wire size constant end to end. Pad bytes carry
+// no information and are not authenticated — tampering with them has no
+// effect.
+type Envelope struct {
+	HopID  id.ID
+	Hint   simnet.Addr
+	Sealed []byte
+	Pad    int
+}
+
+// SizeBytes implements simnet.Message: hopid + hint + body + padding.
+func (e *Envelope) SizeBytes() int { return id.Size + 8 + len(e.Sealed) + e.Pad }
+
+// PadToMatch sets Pad so the envelope's wire size equals prior's. A
+// smaller prior leaves the envelope unpadded.
+func (e *Envelope) PadToMatch(priorSize int) {
+	e.Pad = 0
+	if d := priorSize - e.SizeBytes(); d > 0 {
+		e.Pad = d
+	}
+}
+
+// ForwardLayer is one decrypted layer of a forward message.
+type ForwardLayer struct {
+	IsExit bool
+
+	// Relay fields: where the message goes next.
+	Next     id.ID
+	NextHint simnet.Addr
+	Inner    []byte
+
+	// Exit fields: the destination key and the plaintext payload
+	// (which, in §4, is {fid, K_I, T_r}).
+	Dest    id.ID
+	Payload []byte
+}
+
+// BuildForward produces the Figure 1 message
+// {h_2,[ip_2],{h_3,[ip_3],{D,m}_K3}_K2}_K1 for the given tunnel. hints may
+// be nil (basic mode); with hints it is the §5 optimized form. The
+// returned envelope is addressed to the first hop.
+func BuildForward(t *Tunnel, hints []simnet.Addr, dest id.ID, payload []byte, stream *rng.Stream) (*Envelope, error) {
+	l := t.Length()
+	if l == 0 {
+		return nil, fmt.Errorf("core: cannot build a message for an empty tunnel")
+	}
+	if hints == nil {
+		hints = make([]simnet.Addr, l)
+		for i := range hints {
+			hints[i] = simnet.NoAddr
+		}
+	}
+	if len(hints) != l {
+		return nil, fmt.Errorf("core: %d hints for %d hops", len(hints), l)
+	}
+
+	// Innermost: the exit layer, sealed with the tail hop's key.
+	w := wire.NewWriter(1 + id.Size + len(payload) + 8)
+	w.Byte(layerExit)
+	w.ID(dest)
+	w.Blob(payload)
+	sealed, err := crypt.Seal(t.Hops[l-1].Key, stream, w.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("core: sealing exit layer: %w", err)
+	}
+	// Relay layers outward: layer i names hop i+1.
+	for i := l - 2; i >= 0; i-- {
+		w := wire.NewWriter(1 + id.Size + 8 + len(sealed) + 8)
+		w.Byte(layerRelay)
+		w.ID(t.Hops[i+1].HopID)
+		w.Int64(int64(hints[i+1]))
+		w.Blob(sealed)
+		sealed, err = crypt.Seal(t.Hops[i].Key, stream, w.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("core: sealing relay layer %d: %w", i, err)
+		}
+	}
+	return &Envelope{HopID: t.Hops[0].HopID, Hint: hints[0], Sealed: sealed}, nil
+}
+
+// OpenForwardLayer is the single symmetric operation a hop performs: strip
+// one layer with the anchor key and reveal either the next hop or the
+// exit.
+func OpenForwardLayer(a tha.Anchor, sealed []byte) (ForwardLayer, error) {
+	plain, err := crypt.Open(a.Key, sealed)
+	if err != nil {
+		return ForwardLayer{}, fmt.Errorf("core: hop %s: %w", a.HopID.Short(), err)
+	}
+	r := wire.NewReader(plain)
+	switch marker := r.Byte(); marker {
+	case layerRelay:
+		var l ForwardLayer
+		l.Next = r.ID()
+		l.NextHint = simnet.Addr(r.Int64())
+		l.Inner = r.Blob()
+		if err := r.Done(); err != nil {
+			return ForwardLayer{}, fmt.Errorf("core: relay layer: %w", err)
+		}
+		return l, nil
+	case layerExit:
+		l := ForwardLayer{IsExit: true}
+		l.Dest = r.ID()
+		l.Payload = r.Blob()
+		if err := r.Done(); err != nil {
+			return ForwardLayer{}, fmt.Errorf("core: exit layer: %w", err)
+		}
+		return l, nil
+	default:
+		return ForwardLayer{}, fmt.Errorf("core: unknown layer marker %d", marker)
+	}
+}
+
+// --- reply tunnels -----------------------------------------------------------
+
+// ReplyEnvelope is the wire unit of a reply tunnel. Unlike forward
+// messages, the data rides alongside the onion: reply hops peel the
+// routing onion only, and payload confidentiality comes from the
+// responder's encryption under K_f (§4). Every reply layer has the same
+// shape — next id, hint, remainder — so the final layer, which names the
+// initiator's bid and carries the fake onion, is indistinguishable from an
+// interior one.
+type ReplyEnvelope struct {
+	Target id.ID
+	Hint   simnet.Addr
+	Onion  []byte
+	Data   []byte
+	// Pad is link padding, maintained by relaying hops like the forward
+	// Envelope's: the onion shrinks by one layer per hop, which would
+	// otherwise mark position.
+	Pad int
+}
+
+// SizeBytes implements simnet.Message.
+func (e *ReplyEnvelope) SizeBytes() int {
+	return id.Size + 8 + len(e.Onion) + len(e.Data) + e.Pad
+}
+
+// PadToMatch sets Pad so the envelope's wire size equals prior's.
+func (e *ReplyEnvelope) PadToMatch(priorSize int) {
+	e.Pad = 0
+	if d := priorSize - e.SizeBytes(); d > 0 {
+		e.Pad = d
+	}
+}
+
+// ReplyTunnel is what the initiator embeds in a forward payload: the
+// first reply hopid plus the pre-built onion the responder cannot read.
+type ReplyTunnel struct {
+	First     id.ID
+	FirstHint simnet.Addr
+	Onion     []byte
+}
+
+// Encode serializes the reply tunnel for embedding in a forward payload.
+func (rt *ReplyTunnel) Encode() []byte {
+	w := wire.NewWriter(id.Size + 8 + len(rt.Onion) + 8)
+	w.ID(rt.First)
+	w.Int64(int64(rt.FirstHint))
+	w.Blob(rt.Onion)
+	return w.Bytes()
+}
+
+// DecodeReplyTunnel parses an encoded reply tunnel.
+func DecodeReplyTunnel(b []byte) (*ReplyTunnel, error) {
+	r := wire.NewReader(b)
+	rt := &ReplyTunnel{}
+	rt.First = r.ID()
+	rt.FirstHint = simnet.Addr(r.Int64())
+	rt.Onion = append([]byte(nil), r.Blob()...)
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("core: decoding reply tunnel: %w", err)
+	}
+	return rt, nil
+}
+
+// replyLayerBody encodes the uniform reply layer: next id, hint, rest.
+func replyLayerBody(next id.ID, hint simnet.Addr, rest []byte) []byte {
+	w := wire.NewWriter(id.Size + 8 + len(rest) + 8)
+	w.ID(next)
+	w.Int64(int64(hint))
+	w.Blob(rest)
+	return w.Bytes()
+}
+
+// FakeOnionSize is the default fake-onion length: sized like one more
+// sealed reply layer so the tail hop sees a plausible remainder.
+const FakeOnionSize = id.Size + 8 + 2 + crypt.Overhead
+
+// BuildReply constructs the §4 reply tunnel
+// T_r = {hid_1', {hid_2', {hid_3', {bid, fakeonion}_K3'}_K2'}_K1'}:
+// a pre-peeled onion ending at bid, capped with fake padding. hints may be
+// nil for basic mode.
+func BuildReply(t *Tunnel, hints []simnet.Addr, bid id.ID, stream *rng.Stream) (*ReplyTunnel, error) {
+	l := t.Length()
+	if l == 0 {
+		return nil, fmt.Errorf("core: cannot build a reply tunnel with no hops")
+	}
+	if hints == nil {
+		hints = make([]simnet.Addr, l)
+		for i := range hints {
+			hints[i] = simnet.NoAddr
+		}
+	}
+	if len(hints) != l {
+		return nil, fmt.Errorf("core: %d hints for %d hops", len(hints), l)
+	}
+	fake := make([]byte, FakeOnionSize)
+	stream.Bytes(fake)
+	sealed, err := crypt.Seal(t.Hops[l-1].Key, stream, replyLayerBody(bid, simnet.NoAddr, fake))
+	if err != nil {
+		return nil, fmt.Errorf("core: sealing reply tail: %w", err)
+	}
+	for i := l - 2; i >= 0; i-- {
+		sealed, err = crypt.Seal(t.Hops[i].Key, stream, replyLayerBody(t.Hops[i+1].HopID, hints[i+1], sealed))
+		if err != nil {
+			return nil, fmt.Errorf("core: sealing reply layer %d: %w", i, err)
+		}
+	}
+	return &ReplyTunnel{First: t.Hops[0].HopID, FirstHint: hints[0], Onion: sealed}, nil
+}
+
+// OpenReplyLayer strips one reply-onion layer, yielding the next target
+// (a hopid — or, at the end, the bid, though the hop cannot tell which)
+// and the remaining onion.
+func OpenReplyLayer(a tha.Anchor, onion []byte) (next id.ID, hint simnet.Addr, rest []byte, err error) {
+	plain, err := crypt.Open(a.Key, onion)
+	if err != nil {
+		return id.ID{}, simnet.NoAddr, nil, fmt.Errorf("core: reply hop %s: %w", a.HopID.Short(), err)
+	}
+	r := wire.NewReader(plain)
+	next = r.ID()
+	hint = simnet.Addr(r.Int64())
+	rest = r.Blob()
+	if err := r.Done(); err != nil {
+		return id.ID{}, simnet.NoAddr, nil, fmt.Errorf("core: reply layer: %w", err)
+	}
+	return next, hint, rest, nil
+}

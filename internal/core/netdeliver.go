@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+
+	"tap/internal/id"
+	"tap/internal/pastry"
+	"tap/internal/simnet"
+)
+
+// NetEngine drives tunnel traffic through the discrete-event network, the
+// measurement substrate for Figure 6. The same layer formats and hop logic
+// as the logical walker apply, but every overlay hop is a real
+// store-and-forward network transmission with latency and serialization
+// delay, so end-to-end transfer times are meaningful.
+type NetEngine struct {
+	svc *Service
+	net *simnet.Network
+
+	nextFlow uint64
+	done     map[uint64]func(Outcome)
+
+	// Stats across all flows.
+	NetHops   uint64
+	HintHits  uint64
+	HintMiss  uint64
+	FailFlows uint64
+
+	// Tap, when non-nil, observes the protocol events a node operator
+	// can see at its own node: tunnel envelopes received, and exits
+	// performed (a tail hop knows it is the tail — it decrypts {D, m}).
+	// Adversary instrumentation (internal/timing) filters to the nodes it
+	// controls. The flow id is passed for ground-truth evaluation only; a
+	// real attacker never sees it, and correlators must not match on it.
+	Tap NetTap
+}
+
+// NetTap receives node-local protocol observations.
+type NetTap interface {
+	// EnvelopeReceived fires when a node receives a forward-tunnel
+	// envelope addressed to a hop it serves (before decryption).
+	EnvelopeReceived(at simnet.Addr, now simnet.Time, from simnet.Addr, flow uint64)
+	// EnvelopeForwarded fires when a node relays a tunnel envelope
+	// onward (as a hop or as a plain DHT router), with the address it
+	// received it from — knowledge a node trivially has about itself,
+	// which lets a collusion chain-trace through its own members.
+	EnvelopeForwarded(at simnet.Addr, now simnet.Time, from simnet.Addr)
+	// ExitObserved fires when a tail hop decrypts an exit layer and
+	// learns the destination.
+	ExitObserved(at simnet.Addr, now simnet.Time, flow uint64, dest id.ID)
+}
+
+// Outcome reports one completed (or failed) flow.
+type Outcome struct {
+	Flow      uint64
+	Delivered bool
+	At        simnet.Time
+	NetHops   int
+	FailedAt  string // empty on success
+}
+
+// packet kinds.
+const (
+	kindPayload byte = iota + 1 // plain payload riding to Target's owner
+	kindForward                 // forward-tunnel envelope
+	kindReply                   // reply-tunnel envelope
+)
+
+// packet is the single wire message type: content plus DHT routing state.
+type packet struct {
+	kind   byte
+	flow   uint64
+	target id.ID // DHT routing target; owner of this id consumes/processes
+	direct bool  // true when sent straight to an address hint
+	hops   int   // network hops taken so far
+	// lastFrom is the network-level sender of the most recent hop —
+	// what a receiving node sees as its predecessor.
+	lastFrom simnet.Addr
+
+	payloadSize int            // kindPayload
+	env         *Envelope      // kindForward
+	renv        *ReplyEnvelope // kindReply
+}
+
+// SizeBytes implements simnet.Message.
+func (p *packet) SizeBytes() int {
+	const header = 1 + 8 + id.Size + 1
+	switch p.kind {
+	case kindForward:
+		return header + p.env.SizeBytes()
+	case kindReply:
+		return header + p.renv.SizeBytes()
+	default:
+		return header + p.payloadSize
+	}
+}
+
+// NewNetEngine attaches handlers for every currently live node and for
+// future joiners.
+func NewNetEngine(svc *Service, net *simnet.Network) *NetEngine {
+	e := &NetEngine{svc: svc, net: net, done: make(map[uint64]func(Outcome))}
+	for _, r := range svc.OV.LiveRefs() {
+		e.attach(r.Addr)
+	}
+	// Joiners get handlers too; departures are handled by simnet drops
+	// (the experiment harness detaches failed nodes from the network).
+	prevJoin := svc.OV.OnJoin
+	svc.OV.OnJoin = func(n *pastry.Node) {
+		if prevJoin != nil {
+			prevJoin(n)
+		}
+		e.net.Grow(int(n.Ref().Addr) + 1)
+		e.attach(n.Ref().Addr)
+	}
+	return e
+}
+
+// attach binds the engine's handler to one address.
+func (e *NetEngine) attach(addr simnet.Addr) {
+	e.net.Attach(addr, simnet.HandlerFunc(func(n *simnet.Network, from simnet.Addr, msg simnet.Message) {
+		pkt, ok := msg.(*packet)
+		if !ok {
+			// Traffic that is not tunnel protocol — e.g. cover dummies —
+			// is consumed and discarded.
+			return
+		}
+		pkt.lastFrom = from
+		e.deliver(addr, pkt)
+	}))
+}
+
+// newFlow registers a completion callback and returns the flow id.
+func (e *NetEngine) newFlow(done func(Outcome)) uint64 {
+	e.nextFlow++
+	if done != nil {
+		e.done[e.nextFlow] = done
+	}
+	return e.nextFlow
+}
+
+// finish fires and clears the flow callback.
+func (e *NetEngine) finish(p *packet, delivered bool, why string) {
+	if !delivered {
+		e.FailFlows++
+	}
+	cb, ok := e.done[p.flow]
+	if !ok {
+		return
+	}
+	delete(e.done, p.flow)
+	cb(Outcome{
+		Flow:      p.flow,
+		Delivered: delivered,
+		At:        e.net.Now(),
+		NetHops:   p.hops,
+		FailedAt:  why,
+	})
+}
+
+// send transmits p one network hop.
+func (e *NetEngine) send(from, to simnet.Addr, p *packet) {
+	// Relays of tunnel envelopes are observable self-knowledge for a
+	// wiretap at `from`: it can later recognize receptions downstream of
+	// its own relaying as continuations. Originations (hops == 0) are not
+	// relays.
+	if e.Tap != nil && p.kind == kindForward && p.hops > 0 {
+		e.Tap.EnvelopeForwarded(from, e.net.Now(), p.lastFrom)
+	}
+	p.hops++
+	e.NetHops++
+	e.net.Send(from, to, p)
+}
+
+// forwardToward moves p one Pastry hop toward its target, or processes it
+// here if this node is the destination.
+func (e *NetEngine) forwardToward(self simnet.Addr, p *packet) {
+	node := e.svc.OV.Node(self)
+	if node == nil || !node.Alive() {
+		e.finish(p, false, fmt.Sprintf("node %d died holding packet", self))
+		return
+	}
+	next, deliverHere := node.NextHop(p.target)
+	if !deliverHere {
+		e.send(self, next.Addr, p)
+		return
+	}
+	e.process(self, p)
+}
+
+// deliver is the per-node network handler.
+func (e *NetEngine) deliver(self simnet.Addr, p *packet) {
+	if p.direct {
+		// A hint shortcut landed here. If this node can act on the packet
+		// (it holds the hop anchor), process it; otherwise the hint was
+		// stale and the node falls back to DHT routing toward the target.
+		p.direct = false
+		switch p.kind {
+		case kindForward:
+			if e.svc.Dir.Manager().HolderHas(self, p.env.HopID) {
+				e.HintHits++
+				e.process(self, p)
+				return
+			}
+		case kindReply:
+			if e.svc.Dir.Manager().HolderHas(self, p.renv.Target) {
+				e.HintHits++
+				e.process(self, p)
+				return
+			}
+		}
+		e.HintMiss++
+		e.forwardToward(self, p)
+		return
+	}
+	e.forwardToward(self, p)
+}
+
+// process handles a packet that has reached the owner of its target id.
+func (e *NetEngine) process(self simnet.Addr, p *packet) {
+	switch p.kind {
+	case kindPayload:
+		e.finish(p, true, "")
+
+	case kindForward:
+		if e.Tap != nil && e.svc.Dir.Manager().HolderHas(self, p.env.HopID) {
+			e.Tap.EnvelopeReceived(self, e.net.Now(), p.lastFrom, p.flow)
+		}
+		if !e.svc.hopServes(self, p.env.HopID) {
+			e.finish(p, false, fmt.Sprintf("hop %s dropped at node %d", p.env.HopID.Short(), self))
+			return
+		}
+		anchor, err := e.svc.Dir.FetchAsHolder(self, p.env.HopID)
+		if err != nil {
+			e.finish(p, false, fmt.Sprintf("hop %s lost", p.env.HopID.Short()))
+			return
+		}
+		layer, err := OpenForwardLayer(anchor, p.env.Sealed)
+		if err != nil {
+			e.finish(p, false, fmt.Sprintf("hop %s: %v", p.env.HopID.Short(), err))
+			return
+		}
+		if layer.IsExit {
+			if e.Tap != nil {
+				e.Tap.ExitObserved(self, e.net.Now(), p.flow, layer.Dest)
+			}
+			// Tail hop: route the payload to the destination owner.
+			out := &packet{
+				kind: kindPayload, flow: p.flow, target: layer.Dest,
+				hops: p.hops, payloadSize: len(layer.Payload),
+			}
+			e.forwardToward(self, out)
+			return
+		}
+		env := &Envelope{HopID: layer.Next, Hint: layer.NextHint, Sealed: layer.Inner}
+		// Link padding: keep the wire size constant so an observer cannot
+		// read the tunnel position off the message length.
+		env.PadToMatch(p.env.SizeBytes())
+		next := &packet{
+			kind: kindForward, flow: p.flow, target: layer.Next, hops: p.hops,
+			env: env,
+			// The hop's own relay origin is whoever handed it the
+			// incoming envelope.
+			lastFrom: p.lastFrom,
+		}
+		e.dispatch(self, next, layer.NextHint)
+
+	case kindReply:
+		anchor, err := e.svc.Dir.FetchAsHolder(self, p.renv.Target)
+		if err != nil {
+			// No anchor here: final delivery point (the initiator, when
+			// the tunnel held).
+			e.finish(p, true, "")
+			return
+		}
+		if !e.svc.hopServes(self, p.renv.Target) {
+			e.finish(p, false, fmt.Sprintf("reply hop %s dropped at node %d", p.renv.Target.Short(), self))
+			return
+		}
+		next, hint, rest, err := OpenReplyLayer(anchor, p.renv.Onion)
+		if err != nil {
+			e.finish(p, false, fmt.Sprintf("reply hop %s: %v", p.renv.Target.Short(), err))
+			return
+		}
+		renv := &ReplyEnvelope{Target: next, Hint: hint, Onion: rest, Data: p.renv.Data}
+		renv.PadToMatch(p.renv.SizeBytes())
+		out := &packet{
+			kind: kindReply, flow: p.flow, target: next, hops: p.hops,
+			renv: renv,
+		}
+		e.dispatch(self, out, hint)
+	}
+}
+
+// dispatch sends a packet toward its target, trying the address hint
+// first. A hint to a detached address is detected by the sender (the
+// connection fails) and falls back to DHT routing immediately.
+func (e *NetEngine) dispatch(self simnet.Addr, p *packet, hint simnet.Addr) {
+	if hint != simnet.NoAddr && hint != self && e.net.Attached(hint) {
+		p.direct = true
+		e.send(self, hint, p)
+		return
+	}
+	if hint != simnet.NoAddr {
+		e.HintMiss++
+	}
+	e.forwardToward(self, p)
+}
+
+// SendOvert starts a plain overt transfer and returns its flow id: size bytes routed over the
+// P2P infrastructure from `from` to the owner of dest. The baseline curve
+// of Figure 6.
+func (e *NetEngine) SendOvert(from simnet.Addr, dest id.ID, size int, done func(Outcome)) uint64 {
+	p := &packet{kind: kindPayload, flow: e.newFlow(done), target: dest, payloadSize: size}
+	e.forwardToward(from, p)
+	return p.flow
+}
+
+// SendForward starts a forward-tunnel transfer from the initiator's
+// address. With hints inside env (built via a HintCache) this is TAP_opt;
+// without, TAP_basic.
+func (e *NetEngine) SendForward(from simnet.Addr, env *Envelope, done func(Outcome)) uint64 {
+	p := &packet{kind: kindForward, flow: e.newFlow(done), target: env.HopID, env: env}
+	e.dispatch(from, p, env.Hint)
+	return p.flow
+}
+
+// SendReply starts a reply-tunnel transfer from the responder's address.
+func (e *NetEngine) SendReply(from simnet.Addr, renv *ReplyEnvelope, done func(Outcome)) uint64 {
+	p := &packet{kind: kindReply, flow: e.newFlow(done), target: renv.Target, renv: renv}
+	e.dispatch(from, p, renv.Hint)
+	return p.flow
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tap/internal/id"
+	"tap/internal/simnet"
+)
+
+// netSys extends sys with a simulated network and engine.
+type netSys struct {
+	*sys
+	kernel *simnet.Kernel
+	net    *simnet.Network
+	eng    *NetEngine
+}
+
+func newNetSys(t testing.TB, n, k int, seed uint64) *netSys {
+	t.Helper()
+	s := newSys(t, n, k, seed)
+	kernel := simnet.NewKernel()
+	kernel.MaxSteps = 10_000_000
+	net := simnet.NewNetwork(kernel, simnet.DefaultLinkModel(seed), s.ov.NumAddrs())
+	s.svc.Net = net
+	eng := NewNetEngine(s.svc, net)
+	return &netSys{sys: s, kernel: kernel, net: net, eng: eng}
+}
+
+const fileSize = 250_000 // 2 Mb, the paper's transfer size
+
+func TestNetOvertTransfer(t *testing.T) {
+	ns := newNetSys(t, 200, 3, 1)
+	from := ns.ov.RandomLive(ns.root.Split("src"))
+	dest := id.HashString("file")
+	var out Outcome
+	gotOut := false
+	ns.eng.SendOvert(from.Ref().Addr, dest, fileSize, func(o Outcome) { out = o; gotOut = true })
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !gotOut || !out.Delivered {
+		t.Fatalf("overt transfer not delivered: %+v", out)
+	}
+	// Store-and-forward of 250 KB at 1.5 Mb/s is ≥ 1.33 s per hop.
+	perHop := ns.net.Link.Serialization(fileSize)
+	if out.At < perHop {
+		t.Fatalf("transfer finished in %v, faster than one hop serialization %v", out.At, perHop)
+	}
+	if out.NetHops < 1 || out.NetHops > 10 {
+		t.Fatalf("overt hops = %d", out.NetHops)
+	}
+}
+
+func TestNetOvertToSelfInstant(t *testing.T) {
+	ns := newNetSys(t, 100, 3, 2)
+	from := ns.ov.RandomLive(ns.root.Split("src"))
+	var out Outcome
+	ns.eng.SendOvert(from.Ref().Addr, from.ID(), fileSize, func(o Outcome) { out = o })
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Delivered || out.NetHops != 0 || out.At != 0 {
+		t.Fatalf("self transfer should be local and instant: %+v", out)
+	}
+}
+
+func TestNetTunnelBasicVsOptVsOvert(t *testing.T) {
+	// The Figure 6 ordering on a single transfer: basic > opt > overt
+	// is not guaranteed per-sample (latencies are random), but hops are:
+	// basic strictly traverses more network hops than opt.
+	ns := newNetSys(t, 400, 3, 3)
+	in := ns.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := id.HashString("file")
+	payload := make([]byte, fileSize)
+
+	// Flows run sequentially on one kernel, so measure each as a duration
+	// from its own start instant.
+	runFlow := func(send func(done func(Outcome))) (Outcome, time.Duration) {
+		start := ns.kernel.Now()
+		var out Outcome
+		send(func(o Outcome) { out = o })
+		if err := ns.kernel.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out, out.At - start
+	}
+
+	basicEnv, err := BuildForward(tun, nil, dest, payload, ns.root.Split("b1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, basicDur := runFlow(func(done func(Outcome)) {
+		ns.eng.SendForward(in.Node().Ref().Addr, basicEnv, done)
+	})
+	if !basic.Delivered {
+		t.Fatalf("basic transfer failed: %+v", basic)
+	}
+
+	cache := NewHintCache()
+	if err := cache.Refresh(ns.svc, tun); err != nil {
+		t.Fatal(err)
+	}
+	optEnv, err := BuildForward(tun, hintsFor(cache, tun), dest, payload, ns.root.Split("b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, optDur := runFlow(func(done func(Outcome)) {
+		ns.eng.SendForward(in.Node().Ref().Addr, optEnv, done)
+	})
+	if !opt.Delivered {
+		t.Fatalf("opt transfer failed: %+v", opt)
+	}
+
+	overt, overtDur := runFlow(func(done func(Outcome)) {
+		ns.eng.SendOvert(in.Node().Ref().Addr, dest, fileSize, done)
+	})
+	if !overt.Delivered {
+		t.Fatalf("overt failed")
+	}
+
+	if opt.NetHops >= basic.NetHops {
+		t.Fatalf("opt hops %d not below basic hops %d", opt.NetHops, basic.NetHops)
+	}
+	if overt.NetHops > opt.NetHops {
+		t.Fatalf("overt hops %d above opt hops %d", overt.NetHops, opt.NetHops)
+	}
+	// With 5 tunnel hops the basic mode must take noticeably longer than
+	// overt in time as well — the Figure 6 headline.
+	if basicDur <= overtDur {
+		t.Fatalf("basic (%v) not slower than overt (%v)", basicDur, overtDur)
+	}
+	if optDur >= basicDur {
+		t.Fatalf("opt (%v) not faster than basic (%v)", optDur, basicDur)
+	}
+}
+
+func TestNetTunnelSurvivesHopFailureMidFlight(t *testing.T) {
+	ns := newNetSys(t, 300, 3, 4)
+	in := ns.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := BuildForward(tun, nil, id.HashString("d"), make([]byte, 1000), ns.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the tail hop's node shortly after the flow starts; replicas
+	// migrate and routing self-heals, so the flow must still complete.
+	tail, ok := ns.dir.HopNode(tun.Hops[3].HopID)
+	if !ok {
+		t.Fatal("no tail hop node")
+	}
+	ns.kernel.Schedule(50*time.Millisecond, func() {
+		if err := ns.ov.Fail(tail.Ref().Addr); err == nil {
+			ns.net.Detach(tail.Ref().Addr)
+		}
+	})
+	var out Outcome
+	gotOut := false
+	ns.eng.SendForward(in.Node().Ref().Addr, env, func(o Outcome) { out = o; gotOut = true })
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !gotOut {
+		t.Fatalf("flow vanished (likely dropped at the dead node)")
+	}
+	if !out.Delivered {
+		t.Fatalf("flow failed: %+v", out)
+	}
+}
+
+func TestNetStaleHintFallsBackInFlight(t *testing.T) {
+	ns := newNetSys(t, 300, 3, 5)
+	in := ns.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewHintCache()
+	if err := cache.Refresh(ns.svc, tun); err != nil {
+		t.Fatal(err)
+	}
+	// Make the second hop's hint stale in the §5 sense — the hinted node
+	// is alive and reachable but "not the tunnel hop node any more":
+	// join k nodes with ids right at the hopid so the cached node is
+	// evicted from the replica set entirely.
+	hop := tun.Hops[1].HopID
+	staleAddr := cache.Get(hop)
+	for i := 0; i < ns.mgr.K(); i++ {
+		nid := hop
+		nid[id.Size-1] ^= byte(i + 1) // k distinct ids adjacent to the hopid
+		if ns.ov.ByID(nid) == nil {
+			ns.ov.JoinWithID(nid)
+		}
+	}
+	if ns.dir.Manager().HolderHas(staleAddr, hop) {
+		t.Fatalf("test setup: cached node still holds the anchor")
+	}
+	env, err := BuildForward(tun, hintsFor(cache, tun), id.HashString("d"), make([]byte, 1000), ns.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Outcome
+	ns.eng.SendForward(in.Node().Ref().Addr, env, func(o Outcome) { out = o })
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Delivered {
+		t.Fatalf("stale hint broke the flow: %+v", out)
+	}
+	if ns.eng.HintMiss == 0 {
+		t.Fatalf("no hint miss recorded despite stale hint")
+	}
+}
+
+func TestNetReplyRoundTrip(t *testing.T) {
+	ns := newNetSys(t, 300, 3, 6)
+	in := ns.readyInitiator(t, "a", 20)
+	rep, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid := in.NewBid()
+	rt, err := BuildReply(rep, nil, bid, ns.root.Split("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	responder := ns.ov.RandomLive(ns.root.Split("resp"))
+	var out Outcome
+	ns.eng.SendReply(responder.Ref().Addr, &ReplyEnvelope{
+		Target: rt.First, Hint: rt.FirstHint, Onion: rt.Onion, Data: make([]byte, 5000),
+	}, func(o Outcome) { out = o })
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Delivered {
+		t.Fatalf("reply failed: %+v", out)
+	}
+}
+
+func TestNetFlowFailsWhenAnchorLost(t *testing.T) {
+	ns := newNetSys(t, 300, 3, 7)
+	in := ns.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns.mgr.BeginBatch()
+	for _, addr := range ns.dir.ReplicaAddrs(tun.Hops[1].HopID) {
+		if err := ns.ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+		ns.net.Detach(addr)
+	}
+	ns.mgr.EndBatch()
+	env, err := BuildForward(tun, nil, id.HashString("d"), make([]byte, 100), ns.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Outcome
+	gotOut := false
+	ns.eng.SendForward(in.Node().Ref().Addr, env, func(o Outcome) { out = o; gotOut = true })
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !gotOut {
+		t.Fatalf("no outcome for doomed flow")
+	}
+	if out.Delivered {
+		t.Fatalf("flow delivered despite lost anchor")
+	}
+	if ns.eng.FailFlows != 1 {
+		t.Fatalf("FailFlows = %d", ns.eng.FailFlows)
+	}
+}
+
+func TestNetDeterministicTiming(t *testing.T) {
+	run := func() simnet.Time {
+		ns := newNetSys(t, 200, 3, 8)
+		in := ns.readyInitiator(t, "a", 10)
+		tun, err := in.FormTunnel(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := BuildForward(tun, nil, id.HashString("d"), make([]byte, 10000), ns.root.Split("b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Outcome
+		ns.eng.SendForward(in.Node().Ref().Addr, env, func(o Outcome) { out = o })
+		if err := ns.kernel.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out.At
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("timing not deterministic: %v vs %v", a, b)
+	}
+}

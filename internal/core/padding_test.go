@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"tap/internal/id"
+	"tap/internal/simnet"
+)
+
+func TestPadToMatch(t *testing.T) {
+	e := &Envelope{HopID: id.HashString("h"), Hint: simnet.NoAddr, Sealed: make([]byte, 100)}
+	base := e.SizeBytes()
+	e.PadToMatch(base + 40)
+	if e.SizeBytes() != base+40 {
+		t.Fatalf("padded size %d, want %d", e.SizeBytes(), base+40)
+	}
+	// Smaller target: no negative padding.
+	e.PadToMatch(base - 10)
+	if e.Pad != 0 || e.SizeBytes() != base {
+		t.Fatalf("negative padding applied")
+	}
+}
+
+func TestNetEnvelopeSizeConstantAcrossHops(t *testing.T) {
+	// Tap the wire: with link padding, every forward-envelope
+	// transmission of a flow has identical size, so an observer cannot
+	// read tunnel position off message length.
+	ns := newNetSys(t, 300, 3, 71)
+	in := ns.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envSizes []int
+	ns.net.SendHook = func(_, _ simnet.Addr, msg simnet.Message) {
+		if p, ok := msg.(*packet); ok && p.kind == kindForward {
+			envSizes = append(envSizes, p.SizeBytes())
+		}
+	}
+	env, err := BuildForward(tun, nil, id.HashString("d"), make([]byte, 10_000), ns.root.Split("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	ns.eng.SendForward(in.Node().Ref().Addr, env, func(o Outcome) { done = o.Delivered })
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatalf("flow failed")
+	}
+	if len(envSizes) < 5 {
+		t.Fatalf("observed only %d envelope transmissions", len(envSizes))
+	}
+	for i, s := range envSizes {
+		if s != envSizes[0] {
+			t.Fatalf("envelope size varies on the wire: tx %d is %d bytes, first was %d",
+				i, s, envSizes[0])
+		}
+	}
+}

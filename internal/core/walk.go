@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"tap/internal/id"
+	"tap/internal/pastry"
+	"tap/internal/simnet"
+)
+
+// WalkStats accumulates the cost and path of one logical tunnel traversal.
+type WalkStats struct {
+	// OverlayHops counts every overlay routing hop taken, the quantity
+	// behind the l·log_{2^b}N overhead of §5. Successful hint shortcuts
+	// count as one hop.
+	OverlayHops int
+	// HintHits and HintMisses track the §5 optimization: a hit is a
+	// direct delivery to a cached address that still hosted the hop; a
+	// miss is a stale or absent hint that fell back to DHT routing.
+	HintHits, HintMisses int
+	// HopNodes lists the tunnel hop nodes that actually served each hop.
+	HopNodes []pastry.NodeRef
+	// CryptoOps counts symmetric operations performed by hop nodes,
+	// validating §4's cost claim: "each tunnel hop performs only a single
+	// symmetric key operation per message that is processed."
+	CryptoOps int
+}
+
+// ForwardResult is the outcome of walking a forward tunnel.
+type ForwardResult struct {
+	Dest     id.ID
+	DestNode pastry.NodeRef
+	Payload  []byte
+	Stats    WalkStats
+}
+
+// ReplyResult is the outcome of walking a reply tunnel: where the data
+// finally landed. The caller decides whether the landing node is the
+// intended initiator (by matching its pending bid); the walker cannot know
+// — by design, neither can the network.
+type ReplyResult struct {
+	Target     id.ID // the last target id (the bid, when the tunnel worked)
+	LandedNode pastry.NodeRef
+	Remainder  []byte // unread onion remainder (the fake onion on success)
+	Data       []byte
+	Stats      WalkStats
+}
+
+// locateHop finds the node currently serving hopID, trying the §5 address
+// hint first and falling back to DHT routing from `from`. It returns the
+// node and the overlay hops spent.
+func (svc *Service) locateHop(from simnet.Addr, hopID id.ID, hint simnet.Addr, stats *WalkStats) (*pastry.Node, error) {
+	if hint != simnet.NoAddr {
+		n := svc.OV.Node(hint)
+		if n != nil && n.Alive() && svc.Dir.Manager().HolderHas(hint, hopID) {
+			stats.HintHits++
+			stats.OverlayHops++ // one direct network hop
+			return n, nil
+		}
+		stats.HintMisses++
+	}
+	node, ok := svc.Dir.HopNode(hopID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrHopLost, hopID.Short())
+	}
+	path, err := svc.OV.RoutePath(from, hopID)
+	if err != nil {
+		return nil, fmt.Errorf("core: routing to hop %s: %w", hopID.Short(), err)
+	}
+	end := path[len(path)-1]
+	if end.ID != node.ID() {
+		// Routing and the replica oracle disagree — overlay state is
+		// corrupt; surface loudly rather than mis-deliver.
+		return nil, fmt.Errorf("core: route for %s ended at %s, owner is %s", hopID.Short(), end.ID.Short(), node.ID().Short())
+	}
+	stats.OverlayHops += len(path) - 1
+	return node, nil
+}
+
+// DeliverForward walks a forward envelope from the initiator's address
+// through every tunnel hop, performing each hop's real decryption, and
+// routes the exit payload to its destination's owner node.
+func (svc *Service) DeliverForward(from simnet.Addr, env *Envelope) (*ForwardResult, error) {
+	var stats WalkStats
+	cur := from
+	hopID, hint, sealed := env.HopID, env.Hint, env.Sealed
+	for depth := 0; ; depth++ {
+		if depth > 64 {
+			return nil, fmt.Errorf("core: forward walk exceeded 64 hops; malformed tunnel")
+		}
+		node, err := svc.locateHop(cur, hopID, hint, &stats)
+		if err != nil {
+			return nil, err
+		}
+		stats.HopNodes = append(stats.HopNodes, node.Ref())
+		if !svc.hopServes(node.Ref().Addr, hopID) {
+			return nil, fmt.Errorf("%w: hop %s at node %s", ErrDropped, hopID.Short(), node.Ref())
+		}
+		anchor, err := svc.Dir.FetchAsHolder(node.Ref().Addr, hopID)
+		if err != nil {
+			return nil, fmt.Errorf("%w: hop node %s for %s", ErrNotHolder, node.Ref(), hopID.Short())
+		}
+		layer, err := OpenForwardLayer(anchor, sealed)
+		if err != nil {
+			return nil, err
+		}
+		stats.CryptoOps++
+		cur = node.Ref().Addr
+		if !layer.IsExit {
+			hopID, hint, sealed = layer.Next, layer.NextHint, layer.Inner
+			continue
+		}
+		// Tail node routes the plaintext payload to the destination owner.
+		path, err := svc.OV.RoutePath(cur, layer.Dest)
+		if err != nil {
+			return nil, fmt.Errorf("core: tail routing to %s: %w", layer.Dest.Short(), err)
+		}
+		stats.OverlayHops += len(path) - 1
+		return &ForwardResult{
+			Dest:     layer.Dest,
+			DestNode: path[len(path)-1],
+			Payload:  append([]byte(nil), layer.Payload...),
+			Stats:    stats,
+		}, nil
+	}
+}
+
+// DeliverReply walks a reply envelope from the responder's address. At
+// each target id, the owning node acts as a hop if it holds the matching
+// anchor; the first target whose owner holds no anchor is the delivery
+// point — the initiator when everything worked, a bystander otherwise.
+func (svc *Service) DeliverReply(from simnet.Addr, env *ReplyEnvelope) (*ReplyResult, error) {
+	var stats WalkStats
+	cur := from
+	target, hint, onion := env.Target, env.Hint, env.Onion
+	for depth := 0; ; depth++ {
+		if depth > 64 {
+			return nil, fmt.Errorf("core: reply walk exceeded 64 hops; malformed reply tunnel")
+		}
+		// Try the hint, then DHT-route to the owner of the target id.
+		var node *pastry.Node
+		if hint != simnet.NoAddr {
+			n := svc.OV.Node(hint)
+			if n != nil && n.Alive() && svc.Dir.Manager().HolderHas(hint, target) {
+				stats.HintHits++
+				stats.OverlayHops++
+				node = n
+			} else {
+				stats.HintMisses++
+			}
+		}
+		if node == nil {
+			path, err := svc.OV.RoutePath(cur, target)
+			if err != nil {
+				return nil, fmt.Errorf("core: reply routing to %s: %w", target.Short(), err)
+			}
+			stats.OverlayHops += len(path) - 1
+			node = svc.OV.ByID(path[len(path)-1].ID)
+			if node == nil {
+				return nil, fmt.Errorf("core: reply route ended at dead node")
+			}
+		}
+		cur = node.Ref().Addr
+		anchor, err := svc.Dir.FetchAsHolder(node.Ref().Addr, target)
+		if err != nil {
+			// No anchor here: the message has arrived at its final
+			// destination (whoever owns the target id now).
+			return &ReplyResult{
+				Target:     target,
+				LandedNode: node.Ref(),
+				Remainder:  append([]byte(nil), onion...),
+				Data:       append([]byte(nil), env.Data...),
+				Stats:      stats,
+			}, nil
+		}
+		stats.HopNodes = append(stats.HopNodes, node.Ref())
+		if !svc.hopServes(node.Ref().Addr, target) {
+			return nil, fmt.Errorf("%w: reply hop %s at node %s", ErrDropped, target.Short(), node.Ref())
+		}
+		next, nextHint, rest, err := OpenReplyLayer(anchor, onion)
+		if err != nil {
+			return nil, err
+		}
+		stats.CryptoOps++
+		target, hint, onion = next, nextHint, rest
+	}
+}

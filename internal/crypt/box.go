@@ -1,0 +1,120 @@
+package crypt
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// The paper assumes "a public key infrastructure on a P2P system ... each
+// node has a pair of private and public keys" for the Onion-Routing
+// bootstrap, and the anonymous file retrieval of §4 uses a temporary
+// public key K_I to return the file key. Boxes implement both: an
+// anonymous sealed box over X25519 — the sender generates an ephemeral
+// keypair, derives a shared secret against the recipient's static public
+// key, and seals with the symmetric layer cipher.
+
+// BoxKeyPair is a node's long-lived (or, for K_I, temporary) asymmetric
+// keypair.
+type BoxKeyPair struct {
+	priv *ecdh.PrivateKey
+}
+
+// BoxPublicKey is the shareable half of a BoxKeyPair.
+type BoxPublicKey struct {
+	pub *ecdh.PublicKey
+}
+
+// NewBoxKeyPair generates a keypair from r.
+//
+// The private scalar is read directly from r rather than via
+// ecdh.GenerateKey: the standard library deliberately consumes a random
+// extra byte there (randutil.MaybeReadByte), which would make key
+// generation from a deterministic simulation stream irreproducible across
+// runs. X25519 clamps the scalar during the ECDH operation, so raw bytes
+// are a valid private key.
+func NewBoxKeyPair(r io.Reader) (*BoxKeyPair, error) {
+	var seed [32]byte
+	if _, err := io.ReadFull(r, seed[:]); err != nil {
+		return nil, fmt.Errorf("crypt: drawing box key seed: %w", err)
+	}
+	priv, err := ecdh.X25519().NewPrivateKey(seed[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypt: generating box keypair: %w", err)
+	}
+	return &BoxKeyPair{priv: priv}, nil
+}
+
+// Public returns the public half.
+func (kp *BoxKeyPair) Public() BoxPublicKey {
+	return BoxPublicKey{pub: kp.priv.PublicKey()}
+}
+
+// Bytes returns the encoded public key, for embedding in messages.
+func (pk BoxPublicKey) Bytes() []byte { return pk.pub.Bytes() }
+
+// ParseBoxPublicKey decodes a public key produced by Bytes.
+func ParseBoxPublicKey(b []byte) (BoxPublicKey, error) {
+	pub, err := ecdh.X25519().NewPublicKey(b)
+	if err != nil {
+		return BoxPublicKey{}, fmt.Errorf("crypt: parsing box public key: %w", err)
+	}
+	return BoxPublicKey{pub: pub}, nil
+}
+
+// boxKey derives the symmetric key for an (ephemeral, static) pair.
+func boxKey(shared, ephPub []byte) Key {
+	h := hmac.New(sha256.New, shared)
+	h.Write([]byte("tap.box"))
+	h.Write(ephPub)
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// BoxSeal encrypts plaintext to the recipient's public key so that only
+// the holder of the private key can open it, without identifying the
+// sender: output is ephemeralPub || Seal(derivedKey, plaintext).
+func BoxSeal(recipient BoxPublicKey, r io.Reader, plaintext []byte) ([]byte, error) {
+	ephPair, err := NewBoxKeyPair(r)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: box ephemeral key: %w", err)
+	}
+	eph := ephPair.priv
+	shared, err := eph.ECDH(recipient.pub)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: box ECDH: %w", err)
+	}
+	ephPub := eph.PublicKey().Bytes()
+	sealed, err := Seal(boxKey(shared, ephPub), r, plaintext)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(ephPub)+len(sealed))
+	out = append(out, ephPub...)
+	return append(out, sealed...), nil
+}
+
+// boxPubSize is the X25519 public key encoding length.
+const boxPubSize = 32
+
+// BoxOverhead is the ciphertext expansion of BoxSeal.
+const BoxOverhead = boxPubSize + Overhead
+
+// BoxOpen decrypts a blob produced by BoxSeal for this keypair.
+func (kp *BoxKeyPair) BoxOpen(sealed []byte) ([]byte, error) {
+	if len(sealed) < boxPubSize+Overhead {
+		return nil, ErrTruncated
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(sealed[:boxPubSize])
+	if err != nil {
+		return nil, fmt.Errorf("crypt: box ephemeral public key: %w", err)
+	}
+	shared, err := kp.priv.ECDH(ephPub)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: box ECDH: %w", err)
+	}
+	return Open(boxKey(shared, sealed[:boxPubSize]), sealed[boxPubSize:])
+}

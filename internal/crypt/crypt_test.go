@@ -1,0 +1,256 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"tap/internal/rng"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	s := rng.New(1)
+	k, err := NewKey(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{0, 1, 16, 100, 4096} {
+		msg := make([]byte, size)
+		s.Bytes(msg)
+		sealed, err := Seal(k, s, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sealed) != size+Overhead {
+			t.Fatalf("sealed size %d, want %d", len(sealed), size+Overhead)
+		}
+		got, err := Open(k, sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round trip mismatch at size %d", size)
+		}
+	}
+}
+
+func TestOpenWrongKeyFails(t *testing.T) {
+	s := rng.New(2)
+	k1, _ := NewKey(s)
+	k2, _ := NewKey(s)
+	sealed, err := Seal(k1, s, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(k2, sealed); err != ErrAuth {
+		t.Fatalf("wrong key: err = %v, want ErrAuth", err)
+	}
+}
+
+func TestOpenTamperFails(t *testing.T) {
+	s := rng.New(3)
+	k, _ := NewKey(s)
+	sealed, err := Seal(k, s, []byte("hello tunnel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(sealed); i++ {
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 0x40
+		if _, err := Open(k, mut); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestOpenTruncated(t *testing.T) {
+	s := rng.New(4)
+	k, _ := NewKey(s)
+	if _, err := Open(k, make([]byte, Overhead-1)); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestSealNonceVaries(t *testing.T) {
+	s := rng.New(5)
+	k, _ := NewKey(s)
+	a, _ := Seal(k, s, []byte("m"))
+	b, _ := Seal(k, s, []byte("m"))
+	if bytes.Equal(a, b) {
+		t.Fatalf("two seals of the same message identical — nonce reuse")
+	}
+}
+
+func TestLayeredSealMatchesPaperStructure(t *testing.T) {
+	// Three nested layers, peeled in order — the {h2,{h3,{D,m}K3}K2}K1
+	// structure of Figure 1.
+	s := rng.New(6)
+	k1, _ := NewKey(s)
+	k2, _ := NewKey(s)
+	k3, _ := NewKey(s)
+	inner := []byte("D||m")
+	l3, _ := Seal(k3, s, inner)
+	l2, _ := Seal(k2, s, l3)
+	l1, _ := Seal(k1, s, l2)
+
+	p1, err := Open(k1, l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(k2, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := Open(k3, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p3, inner) {
+		t.Fatalf("layered round trip mismatch")
+	}
+	// Peeling out of order must fail.
+	if _, err := Open(k2, l1); err == nil {
+		t.Fatalf("out-of-order peel accepted")
+	}
+}
+
+func TestBoxRoundTrip(t *testing.T) {
+	s := rng.New(7)
+	kp, err := NewBoxKeyPair(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("file key K_f")
+	sealed, err := BoxSeal(kp.Public(), s, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != len(msg)+BoxOverhead {
+		t.Fatalf("box size %d, want %d", len(sealed), len(msg)+BoxOverhead)
+	}
+	got, err := kp.BoxOpen(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("box round trip mismatch")
+	}
+}
+
+func TestBoxWrongRecipientFails(t *testing.T) {
+	s := rng.New(8)
+	kp1, _ := NewBoxKeyPair(s)
+	kp2, _ := NewBoxKeyPair(s)
+	sealed, err := BoxSeal(kp1.Public(), s, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kp2.BoxOpen(sealed); err == nil {
+		t.Fatalf("wrong recipient opened box")
+	}
+}
+
+func TestBoxPublicKeyRoundTrip(t *testing.T) {
+	s := rng.New(9)
+	kp, _ := NewBoxKeyPair(s)
+	b := kp.Public().Bytes()
+	pk, err := ParseBoxPublicKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := BoxSeal(pk, s, []byte("via parsed key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kp.BoxOpen(sealed); err != nil {
+		t.Fatalf("parsed key box failed: %v", err)
+	}
+	if _, err := ParseBoxPublicKey([]byte("short")); err == nil {
+		t.Fatalf("bad public key accepted")
+	}
+}
+
+func TestPasswordVerify(t *testing.T) {
+	s := rng.New(10)
+	pw, err := NewPassword(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pw.Hash()
+	if !h.Verify(pw) {
+		t.Fatalf("correct password rejected")
+	}
+	var wrong Password
+	if h.Verify(wrong) {
+		t.Fatalf("wrong password accepted")
+	}
+}
+
+func TestPasswordHashDeterministic(t *testing.T) {
+	f := func(b [PasswordSize]byte) bool {
+		pw := Password(b)
+		return pw.Hash() == pw.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPuzzleMintVerify(t *testing.T) {
+	p := Puzzle{Challenge: []byte("hopid-123"), Difficulty: 8}
+	nonce := p.Mint()
+	if err := p.Verify(nonce); err != nil {
+		t.Fatalf("minted solution rejected: %v", err)
+	}
+	if err := p.Verify(nonce + 1<<40); err == nil {
+		t.Fatalf("bogus nonce accepted (astronomically unlikely to be valid)")
+	}
+}
+
+func TestPuzzleZeroDifficultyFree(t *testing.T) {
+	p := Puzzle{Challenge: []byte("x"), Difficulty: 0}
+	if p.Mint() != 0 {
+		t.Fatalf("zero difficulty should accept the first nonce")
+	}
+	if err := p.Verify(12345); err != nil {
+		t.Fatalf("zero difficulty rejected a nonce: %v", err)
+	}
+}
+
+func TestPuzzleBindsChallenge(t *testing.T) {
+	a := Puzzle{Challenge: []byte("anchor-a"), Difficulty: 10}
+	b := Puzzle{Challenge: []byte("anchor-b"), Difficulty: 10}
+	nonce := a.Mint()
+	// A solution for a is almost surely invalid for b: solutions cannot be
+	// stockpiled and replayed for other anchors.
+	if b.Verify(nonce) == nil && a.Mint() == b.Mint() {
+		t.Fatalf("puzzle solutions transferable between challenges")
+	}
+}
+
+func BenchmarkSeal1KiB(b *testing.B) {
+	s := rng.New(11)
+	k, _ := NewKey(s)
+	msg := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Seal(k, s, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpen1KiB(b *testing.B) {
+	s := rng.New(12)
+	k, _ := NewKey(s)
+	msg := make([]byte, 1024)
+	sealed, _ := Seal(k, s, msg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Open(k, sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

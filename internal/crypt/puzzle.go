@@ -1,0 +1,75 @@
+package crypt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+// §3.3 notes that malicious nodes could flood the system with random THAs
+// to deny service, and that "the usual way of counteracting this type of
+// attack is to charge the node ... a CPU-based payment system that forces
+// the node to solve some puzzles before deploying a THA". Puzzle is that
+// payment: a hashcash-style partial preimage. The minting node must find a
+// nonce such that SHA-256(challenge || nonce) has at least Difficulty
+// leading zero bits; verification is one hash.
+
+// Puzzle describes the work demanded before a store accepts a THA.
+type Puzzle struct {
+	// Challenge binds the work to a specific deployment (typically the
+	// hopid being deployed), so solutions cannot be stockpiled.
+	Challenge []byte
+	// Difficulty is the required number of leading zero bits. Zero
+	// disables the charge.
+	Difficulty int
+}
+
+// ErrPuzzleUnsolved reports a nonce that does not meet the difficulty.
+var ErrPuzzleUnsolved = errors.New("crypt: puzzle solution does not meet difficulty")
+
+// leadingZeroBits counts leading zero bits of a digest.
+func leadingZeroBits(sum [sha256.Size]byte) int {
+	n := 0
+	for _, b := range sum {
+		if b == 0 {
+			n += 8
+			continue
+		}
+		return n + bits.LeadingZeros8(b)
+	}
+	return n
+}
+
+// check evaluates one candidate nonce.
+func (p Puzzle) check(nonce uint64) bool {
+	if p.Difficulty <= 0 {
+		return true
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], nonce)
+	h := sha256.New()
+	h.Write(p.Challenge)
+	h.Write(buf[:])
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return leadingZeroBits(sum) >= p.Difficulty
+}
+
+// Mint searches nonces from 0 upward and returns the first solution. Cost
+// grows as 2^Difficulty hashes; experiments use small difficulties.
+func (p Puzzle) Mint() uint64 {
+	for nonce := uint64(0); ; nonce++ {
+		if p.check(nonce) {
+			return nonce
+		}
+	}
+}
+
+// Verify checks a claimed solution.
+func (p Puzzle) Verify(nonce uint64) error {
+	if !p.check(nonce) {
+		return ErrPuzzleUnsolved
+	}
+	return nil
+}

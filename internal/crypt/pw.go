@@ -1,0 +1,42 @@
+package crypt
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// Tunnel hop anchors carry H(PW), the hash of a secret password; deleting
+// an anchor requires presenting PW, whose hash the replica holders compare
+// (§3.4). Storing the hash rather than the password prevents a malicious
+// replica holder from learning PW and deleting the anchor itself.
+
+// PasswordSize is the length of a generated anchor password.
+const PasswordSize = 16
+
+// Password is the deletion secret of a THA, known only to its owner.
+type Password [PasswordSize]byte
+
+// PasswordHash is H(PW) as stored inside a THA.
+type PasswordHash [sha256.Size]byte
+
+// NewPassword draws a password from r.
+func NewPassword(r io.Reader) (Password, error) {
+	var pw Password
+	if _, err := io.ReadFull(r, pw[:]); err != nil {
+		return Password{}, fmt.Errorf("crypt: drawing password: %w", err)
+	}
+	return pw, nil
+}
+
+// Hash computes H(PW).
+func (pw Password) Hash() PasswordHash {
+	return PasswordHash(sha256.Sum256(pw[:]))
+}
+
+// Verify reports whether pw hashes to h, in constant time.
+func (h PasswordHash) Verify(pw Password) bool {
+	got := pw.Hash()
+	return hmac.Equal(got[:], h[:])
+}

@@ -1,0 +1,114 @@
+// Package crypt supplies the cryptographic primitives TAP's tunneling
+// uses: symmetric layer encryption (the per-hop {m}_K operation of the
+// paper's Figure 1), public-key boxes for the PKI the Onion-Routing
+// bootstrap assumes, password hashing for THA ownership proofs, and
+// CPU-payment puzzles for THA-flood defense.
+//
+// Everything is built from the Go standard library: AES-CTR with an
+// HMAC-SHA256 tag for sealed layers (encrypt-then-MAC), X25519 for boxes,
+// SHA-256 for passwords, and a hashcash-style partial-preimage puzzle.
+// The paper's results do not depend on cipher choice ("the overhead
+// introduced by symmetric encryption/decryption in tunneling is
+// negligible"); what matters is that each hop performs exactly one
+// symmetric operation per message, which the layer format preserves.
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the symmetric key length in bytes (AES-128).
+const KeySize = 16
+
+// nonceSize is the CTR IV length.
+const nonceSize = aes.BlockSize
+
+// tagSize is the truncated HMAC-SHA256 tag length.
+const tagSize = 16
+
+// Overhead is the ciphertext expansion of one Seal: nonce plus tag. Layer
+// counting in tunnel messages uses it to compute wire sizes.
+const Overhead = nonceSize + tagSize
+
+// Key is a symmetric layer key — the K of a tunnel hop anchor.
+type Key [KeySize]byte
+
+// NewKey draws a key from r, which may be crypto/rand for deployment or a
+// deterministic rng.Stream for simulation.
+func NewKey(r io.Reader) (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(r, k[:]); err != nil {
+		return Key{}, fmt.Errorf("crypt: drawing key: %w", err)
+	}
+	return k, nil
+}
+
+// ErrAuth is returned when a sealed layer fails authentication: the
+// ciphertext was modified, or the wrong key was used — e.g. a node that is
+// not the intended tunnel hop trying to peel a layer.
+var ErrAuth = errors.New("crypt: message authentication failed")
+
+// ErrTruncated is returned when a sealed blob is too short to contain a
+// nonce and tag.
+var ErrTruncated = errors.New("crypt: sealed blob truncated")
+
+// subkeys derives independent encryption and MAC keys from k, so the same
+// anchor key can safely drive both AES and HMAC.
+func subkeys(k Key) (enc [16]byte, mac [32]byte) {
+	h := hmac.New(sha256.New, k[:])
+	h.Write([]byte("tap.layer.enc"))
+	copy(enc[:], h.Sum(nil))
+	h.Reset()
+	h.Write([]byte("tap.layer.mac"))
+	copy(mac[:], h.Sum(nil))
+	return
+}
+
+// Seal encrypts plaintext under k with a nonce drawn from r and appends an
+// authentication tag: output is nonce || AES-CTR(ciphertext) || tag.
+func Seal(k Key, r io.Reader, plaintext []byte) ([]byte, error) {
+	encKey, macKey := subkeys(k)
+	out := make([]byte, nonceSize+len(plaintext)+tagSize)
+	nonce := out[:nonceSize]
+	if _, err := io.ReadFull(r, nonce); err != nil {
+		return nil, fmt.Errorf("crypt: drawing nonce: %w", err)
+	}
+	block, err := aes.NewCipher(encKey[:])
+	if err != nil {
+		return nil, err
+	}
+	cipher.NewCTR(block, nonce).XORKeyStream(out[nonceSize:nonceSize+len(plaintext)], plaintext)
+	mac := hmac.New(sha256.New, macKey[:])
+	mac.Write(out[:nonceSize+len(plaintext)])
+	copy(out[nonceSize+len(plaintext):], mac.Sum(nil)[:tagSize])
+	return out, nil
+}
+
+// Open authenticates and decrypts a blob produced by Seal with the same
+// key.
+func Open(k Key, sealed []byte) ([]byte, error) {
+	if len(sealed) < Overhead {
+		return nil, ErrTruncated
+	}
+	encKey, macKey := subkeys(k)
+	body := sealed[:len(sealed)-tagSize]
+	tag := sealed[len(sealed)-tagSize:]
+	mac := hmac.New(sha256.New, macKey[:])
+	mac.Write(body)
+	if !hmac.Equal(tag, mac.Sum(nil)[:tagSize]) {
+		return nil, ErrAuth
+	}
+	block, err := aes.NewCipher(encKey[:])
+	if err != nil {
+		return nil, err
+	}
+	plaintext := make([]byte, len(body)-nonceSize)
+	cipher.NewCTR(block, body[:nonceSize]).XORKeyStream(plaintext, body[nonceSize:])
+	return plaintext, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The zero value of every figure's parameter struct must select the
+// paper's published settings — these tests are the executable record of
+// that mapping.
+func TestFigureDefaultsMatchPaper(t *testing.T) {
+	f2 := Fig2Params{}.withDefaults()
+	if f2.N != 10_000 || f2.Tunnels != 5_000 || f2.Length != 5 {
+		t.Fatalf("fig2 defaults %+v", f2)
+	}
+	if len(f2.Ks) != 2 || f2.Ks[0] != 3 || f2.Ks[1] != 5 {
+		t.Fatalf("fig2 must compare k=3 and k=5: %v", f2.Ks)
+	}
+
+	f3 := Fig3Params{}.withDefaults()
+	if f3.N != 10_000 || f3.Tunnels != 5_000 || f3.Length != 5 || f3.K != 3 {
+		t.Fatalf("fig3 defaults %+v", f3)
+	}
+
+	f4a := Fig4aParams{}.withDefaults()
+	if f4a.Malicious != 0.1 || f4a.Length != 5 {
+		t.Fatalf("fig4a defaults %+v", f4a)
+	}
+	f4b := Fig4bParams{}.withDefaults()
+	if f4b.K != 3 || f4b.Malicious != 0.1 {
+		t.Fatalf("fig4b defaults %+v", f4b)
+	}
+
+	f5 := Fig5Params{}.withDefaults()
+	if f5.LeavePerUnit != 100 || f5.JoinPerUnit != 100 || f5.K != 3 || f5.Malicious != 0.1 {
+		t.Fatalf("fig5 defaults %+v (paper: 100 leaves + 100 joins per unit, k=3, p=0.1)", f5)
+	}
+
+	f6 := Fig6Params{}.withDefaults()
+	if f6.FileBytes != 250_000 {
+		t.Fatalf("fig6 file size %d, paper transfers 2 Mb = 250,000 bytes", f6.FileBytes)
+	}
+	if len(f6.Lengths) != 2 || f6.Lengths[0] != 3 || f6.Lengths[1] != 5 {
+		t.Fatalf("fig6 lengths %v, paper plots l=3 and l=5", f6.Lengths)
+	}
+	if f6.Sizes[len(f6.Sizes)-1] != 10_000 {
+		t.Fatalf("fig6 sizes %v must reach 10,000 nodes", f6.Sizes)
+	}
+}
+
+func TestExtensionDefaultsSane(t *testing.T) {
+	if p := (ExtSecRouteParams{}).withDefaults(); p.N == 0 || len(p.Fracs) == 0 {
+		t.Fatalf("ext-secroute defaults")
+	}
+	if p := (ExtDetectParams{}).withDefaults(); p.Length != 5 {
+		t.Fatalf("ext-detect default length %d", p.Length)
+	}
+	if p := (ExtCoverParams{}).withDefaults(); p.Rates[0] != 0 {
+		t.Fatalf("ext-cover must include the no-cover baseline first: %v", p.Rates)
+	}
+	if p := (ExtAnonParams{}).withDefaults(); p.Length != 5 || p.K != 3 {
+		t.Fatalf("ext-anon defaults %+v", p)
+	}
+	if p := (ExtSessionParams{}).withDefaults(); p.Exchanges != 20 {
+		t.Fatalf("ext-session defaults %+v", p)
+	}
+	if p := (ExtInflightParams{}).withDefaults(); p.MeanGaps[0] != 0 || p.FileBytes != 250_000 {
+		t.Fatalf("ext-inflight defaults %+v", p)
+	}
+}

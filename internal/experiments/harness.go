@@ -1,0 +1,169 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§7). Each FigN function takes a parameter struct whose zero value is
+// filled with the paper's settings scaled to the caller's request, runs
+// the Monte-Carlo trials — in parallel across worker goroutines, with one
+// deterministic RNG stream per trial — and returns a trace.Table whose
+// rows are the figure's x axis and whose columns are its series.
+//
+// cmd/tapsim prints these tables; bench_test.go wraps each in a testing.B
+// benchmark; EXPERIMENTS.md records the measured shapes against the
+// paper's.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tap/internal/adversary"
+	"tap/internal/core"
+	"tap/internal/past"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/tha"
+	"tap/internal/trace"
+)
+
+// World is one fully wired TAP universe: overlay, storage, anchors,
+// service, adversary.
+type World struct {
+	Root *rng.Stream
+	OV   *pastry.Overlay
+	Mgr  *past.Manager
+	Dir  *tha.Directory
+	Svc  *core.Service
+	Col  *adversary.Collusion
+}
+
+// BuildWorld constructs a world of n nodes with replication factor k,
+// rooted at stream.
+func BuildWorld(n, k int, stream *rng.Stream) (*World, error) {
+	ov, err := pastry.Build(pastry.DefaultConfig(), n, stream.Split("overlay"))
+	if err != nil {
+		return nil, err
+	}
+	mgr := past.NewManager(ov, k)
+	dir := tha.NewDirectory(ov, mgr)
+	svc := core.NewService(ov, dir, stream.Split("svc"))
+	col := adversary.NewCollusion(ov, mgr)
+	return &World{Root: stream, OV: ov, Mgr: mgr, Dir: dir, Svc: svc, Col: col}, nil
+}
+
+// TunnelSet is a population of tunnels with their owners, the workload
+// unit of Figures 2–5 ("we assume the system has 5,000 tunnels").
+type TunnelSet struct {
+	Initiators []*core.Initiator
+	Tunnels    []*core.Tunnel
+}
+
+// DeployTunnels creates `count` tunnels of the given length, each owned by
+// a uniformly random live node that deploys exactly the anchors it needs.
+func DeployTunnels(w *World, count, length int, stream *rng.Stream) (*TunnelSet, error) {
+	ts := &TunnelSet{
+		Initiators: make([]*core.Initiator, 0, count),
+		Tunnels:    make([]*core.Tunnel, 0, count),
+	}
+	for i := 0; i < count; i++ {
+		node := w.OV.RandomLive(stream)
+		in, err := core.NewInitiator(w.Svc, node, stream.SplitN("initiator", i))
+		if err != nil {
+			return nil, err
+		}
+		if err := in.DeployDirect(length); err != nil {
+			return nil, fmt.Errorf("experiments: deploying tunnel %d: %w", i, err)
+		}
+		tun, err := in.FormTunnel(length)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: forming tunnel %d: %w", i, err)
+		}
+		ts.Initiators = append(ts.Initiators, in)
+		ts.Tunnels = append(ts.Tunnels, tun)
+	}
+	return ts, nil
+}
+
+// TunnelFunctional reports whether a TAP tunnel can still carry traffic:
+// every hop anchor retains a live replica. When fullWalk is set, the check
+// additionally executes a complete end-to-end delivery with real
+// cryptography from the tunnel owner's node (falling back to any live node
+// if the owner itself died).
+func TunnelFunctional(w *World, in *core.Initiator, t *core.Tunnel, fullWalk bool, stream *rng.Stream) bool {
+	for _, h := range t.Hops {
+		if !w.Dir.Available(h.HopID) {
+			return false
+		}
+	}
+	if !fullWalk {
+		return true
+	}
+	src := in.Node()
+	if !src.Alive() {
+		src = w.OV.RandomLive(stream)
+	}
+	env, err := core.BuildForward(t, nil, w.OV.RandomLive(stream).ID(), []byte("probe"), stream)
+	if err != nil {
+		return false
+	}
+	res, err := w.Svc.DeliverForward(src.Ref().Addr, env)
+	return err == nil && string(res.Payload) == "probe"
+}
+
+// --- parallel trial execution ----------------------------------------------
+
+// Parallel runs fn(i) for every i in [0, n) across min(GOMAXPROCS, n)
+// workers and returns the first error. Each fn must derive all its
+// randomness from its index so results are order-independent.
+func Parallel(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return firstErr
+}
+
+// syncTable wraps a trace.Table for concurrent Adds from trial workers.
+type syncTable struct {
+	mu sync.Mutex
+	t  *trace.Table
+}
+
+func newSyncTable(title, xLabel string, series ...string) *syncTable {
+	return &syncTable{t: trace.NewTable(title, xLabel, series...)}
+}
+
+func (s *syncTable) Add(x float64, series string, v float64) {
+	s.mu.Lock()
+	s.t.Add(x, series, v)
+	s.mu.Unlock()
+}
+
+func (s *syncTable) Table() *trace.Table { return s.t }

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"tap/internal/churn"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+)
+
+// Regression: heavy churn at realistic scale once broke the replica
+// invariant — the join-time migration scan used a distance-based
+// neighbor window (the 2k+2 nodes *closest* to the joiner), which id
+// clumping can defeat, leaving stale replicas that later surfaced as
+// ErrNotHolder during tunnel traversal. The scan is positional now; this
+// reproduces the exact failing schedule (seed 2004, rate 0.05, trial 0).
+func TestRegressionJoinScanPositional(t *testing.T) {
+	root := rng.New(2004)
+	stream := root.SplitN(fmt.Sprintf("extsess-r%d", 4), 0)
+	w, err := BuildWorld(1500, 3, stream.Split("world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wave = 75 // 5% of 1500
+	for sIdx := 0; sIdx < 4; sIdx++ {
+		ss := stream.SplitN("session", sIdx)
+		node := w.OV.RandomLive(ss)
+		benign := func(a simnet.Addr) bool { return a != node.Ref().Addr }
+		if _, err := DeployTunnels(w, 2, 5, ss.Split("tun")); err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 6; e++ {
+			churn.Wave(w.OV, wave, wave, ss.SplitN("wave", e), benign)
+			if err := w.Mgr.CheckInvariants(); err != nil {
+				t.Fatalf("session %d wave %d: %v", sIdx, e, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package id
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	a := Hash([]byte("node-1"), []byte("hkey"), []byte("t0"))
+	b := Hash([]byte("node-1"), []byte("hkey"), []byte("t0"))
+	if a != b {
+		t.Fatalf("Hash not deterministic: %s vs %s", a, b)
+	}
+	c := Hash([]byte("node-1"), []byte("hkey"), []byte("t1"))
+	if a == c {
+		t.Fatalf("distinct inputs collided: %s", a)
+	}
+}
+
+func TestHashMatchesConcatenation(t *testing.T) {
+	// Hash over parts must equal Hash over the concatenated bytes, since
+	// the paper's H(node_ID, hkey, t) is a hash of the concatenation.
+	a := Hash([]byte("ab"), []byte("cd"))
+	b := Hash([]byte("abcd"))
+	if a != b {
+		t.Fatalf("part-wise hash %s != concatenated hash %s", a, b)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	want := Hash([]byte("x"))
+	got, err := Parse(want.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", want.String(), err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %s want %s", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{"", "ab", "zz" + MustParse("00000000000000000000" + "00000000000000000000").String()[2:]}
+	for _, s := range cases {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestFromUint64(t *testing.T) {
+	v := FromUint64(0xdeadbeef)
+	if v.Low64() != 0xdeadbeef {
+		t.Fatalf("Low64 = %#x", v.Low64())
+	}
+	if v.High64() != 0 {
+		t.Fatalf("High64 = %#x, want 0", v.High64())
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a := FromUint64(1)
+	b := FromUint64(2)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Fatalf("Cmp ordering broken")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatalf("Less inconsistent with Cmp")
+	}
+	if Zero.Cmp(Max) != -1 {
+		t.Fatalf("Zero should compare below Max")
+	}
+}
+
+func TestAddSubIdentities(t *testing.T) {
+	a := Hash([]byte("a"))
+	b := Hash([]byte("b"))
+	if got := a.Add(Zero); got != a {
+		t.Fatalf("a+0 = %s, want %s", got, a)
+	}
+	if got := a.Sub(a); got != Zero {
+		t.Fatalf("a-a = %s, want zero", got)
+	}
+	if got := a.Add(b).Sub(b); got != a {
+		t.Fatalf("(a+b)-b = %s, want %s", got, a)
+	}
+}
+
+func TestAddWraps(t *testing.T) {
+	one := FromUint64(1)
+	if got := Max.Add(one); got != Zero {
+		t.Fatalf("Max+1 = %s, want zero (mod 2^160)", got)
+	}
+	if got := Zero.Sub(one); got != Max {
+		t.Fatalf("0-1 = %s, want Max", got)
+	}
+}
+
+func TestDistanceSymmetricAndWraps(t *testing.T) {
+	a := FromUint64(10)
+	b := FromUint64(3)
+	if d := a.Distance(b); d != FromUint64(7) {
+		t.Fatalf("Distance = %s, want 7", d)
+	}
+	if a.Distance(b) != b.Distance(a) {
+		t.Fatalf("Distance not symmetric")
+	}
+	// Max and Zero are adjacent on the ring.
+	if d := Max.Distance(Zero); d != FromUint64(1) {
+		t.Fatalf("Distance(Max, 0) = %s, want 1", d)
+	}
+}
+
+func TestCloserTieBreak(t *testing.T) {
+	// 4 and 6 are equidistant from 5: the tie must break deterministically
+	// toward the smaller id so ownership of a key is unique.
+	target := FromUint64(5)
+	if !Closer(target, FromUint64(4), FromUint64(6)) {
+		t.Fatalf("tie should break toward smaller id")
+	}
+	if Closer(target, FromUint64(6), FromUint64(4)) {
+		t.Fatalf("tie break must be asymmetric")
+	}
+}
+
+func TestCommonPrefixBits(t *testing.T) {
+	a := MustParse("ff00000000000000000000000000000000000000")
+	b := MustParse("fe00000000000000000000000000000000000000")
+	if got := a.CommonPrefixBits(b); got != 7 {
+		t.Fatalf("CommonPrefixBits = %d, want 7", got)
+	}
+	if got := a.CommonPrefixBits(a); got != Bits {
+		t.Fatalf("self prefix = %d, want %d", got, Bits)
+	}
+}
+
+func TestDigitExtraction(t *testing.T) {
+	a := MustParse("f102030405060708090a0b0c0d0e0f1011121314")
+	if got := a.Digit(0, 4); got != 0xf {
+		t.Fatalf("digit 0 base 16 = %#x, want 0xf", got)
+	}
+	if got := a.Digit(1, 4); got != 0x1 {
+		t.Fatalf("digit 1 base 16 = %#x, want 0x1", got)
+	}
+	if got := a.Digit(3, 4); got != 0x2 {
+		t.Fatalf("digit 3 base 16 = %#x, want 0x2", got)
+	}
+	if got := a.Digit(0, 8); got != 0xf1 {
+		t.Fatalf("digit 0 base 256 = %#x, want 0xf1", got)
+	}
+	if got := a.Digit(0, 1); got != 1 {
+		t.Fatalf("digit 0 base 2 = %d, want 1", got)
+	}
+}
+
+func TestWithDigit(t *testing.T) {
+	a := Zero
+	b := a.WithDigit(3, 4, 0xc)
+	if got := b.Digit(3, 4); got != 0xc {
+		t.Fatalf("WithDigit readback = %#x, want 0xc", got)
+	}
+	// Other digits untouched.
+	for i := 0; i < NumDigits(4); i++ {
+		if i == 3 {
+			continue
+		}
+		if b.Digit(i, 4) != 0 {
+			t.Fatalf("digit %d disturbed", i)
+		}
+	}
+}
+
+func TestWithDigitPanicsOnRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for out-of-range digit")
+		}
+	}()
+	Zero.WithDigit(0, 4, 16)
+}
+
+func TestNumDigits(t *testing.T) {
+	if got := NumDigits(4); got != 40 {
+		t.Fatalf("NumDigits(4) = %d, want 40", got)
+	}
+	if got := NumDigits(1); got != 160 {
+		t.Fatalf("NumDigits(1) = %d, want 160", got)
+	}
+}
+
+func TestCheckBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for base 3")
+		}
+	}()
+	NumDigits(3)
+}
+
+func TestBetweenIncl(t *testing.T) {
+	lo, hi := FromUint64(10), FromUint64(20)
+	if !BetweenIncl(lo, hi, FromUint64(10)) || !BetweenIncl(lo, hi, FromUint64(20)) {
+		t.Fatalf("endpoints must be included")
+	}
+	if !BetweenIncl(lo, hi, FromUint64(15)) {
+		t.Fatalf("interior point excluded")
+	}
+	if BetweenIncl(lo, hi, FromUint64(25)) {
+		t.Fatalf("exterior point included")
+	}
+	// Wrapped arc.
+	if !BetweenIncl(hi, lo, FromUint64(25)) {
+		t.Fatalf("wrapped arc should include 25")
+	}
+	if !BetweenIncl(hi, lo, FromUint64(5)) {
+		t.Fatalf("wrapped arc should include 5")
+	}
+	if BetweenIncl(hi, lo, FromUint64(15)) {
+		t.Fatalf("wrapped arc should exclude 15")
+	}
+}
+
+func TestSortByDistance(t *testing.T) {
+	target := FromUint64(100)
+	ids := []ID{FromUint64(300), FromUint64(90), FromUint64(101), FromUint64(100)}
+	SortByDistance(target, ids)
+	want := []ID{FromUint64(100), FromUint64(101), FromUint64(90), FromUint64(300)}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestKClosestMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(10)
+		target := FromUint64(rng.Uint64())
+		cand := make([]ID, n)
+		for i := range cand {
+			cand[i] = FromUint64(rng.Uint64())
+		}
+		got := KClosest(target, cand, k)
+
+		full := make([]ID, n)
+		copy(full, cand)
+		SortByDistance(target, full)
+		wantLen := k
+		if wantLen > n {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("trial %d: len = %d, want %d", trial, len(got), wantLen)
+		}
+		for i := 0; i < wantLen; i++ {
+			if got[i] != full[i] {
+				t.Fatalf("trial %d: got[%d] = %s, want %s", trial, i, got[i], full[i])
+			}
+		}
+	}
+}
+
+func TestKClosestEdgeCases(t *testing.T) {
+	if got := KClosest(Zero, nil, 3); got != nil {
+		t.Fatalf("empty candidates should yield nil")
+	}
+	if got := KClosest(Zero, []ID{FromUint64(1)}, 0); got != nil {
+		t.Fatalf("k=0 should yield nil")
+	}
+}
+
+func TestClosest(t *testing.T) {
+	target := FromUint64(50)
+	cand := []ID{FromUint64(10), FromUint64(49), FromUint64(200)}
+	if got := Closest(target, cand); got != FromUint64(49) {
+		t.Fatalf("Closest = %s, want 49", got)
+	}
+}
+
+func TestClosestPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Closest(Zero, nil)
+}
+
+func TestDedup(t *testing.T) {
+	ids := []ID{FromUint64(3), FromUint64(1), FromUint64(3), FromUint64(2), FromUint64(1)}
+	out := Dedup(ids)
+	if len(out) != 3 {
+		t.Fatalf("Dedup len = %d, want 3", len(out))
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if out[i] != FromUint64(want) {
+			t.Fatalf("out[%d] = %s", i, out[i])
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	ids := []ID{FromUint64(1), FromUint64(2)}
+	if !Contains(ids, FromUint64(2)) || Contains(ids, FromUint64(3)) {
+		t.Fatalf("Contains broken")
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+func randomID(r *rand.Rand) ID {
+	var out ID
+	r.Read(out[:])
+	return out
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := FromUint64(x), FromUint64(y)
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSubInverseOfAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		a, b := randomID(rng), randomID(rng)
+		if a.Add(b).Sub(b) != a {
+			t.Fatalf("(a+b)-b != a for a=%s b=%s", a, b)
+		}
+	}
+}
+
+func TestPropDistanceMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	halfTop := MustParse("8000000000000000000000000000000000000000")
+	for i := 0; i < 500; i++ {
+		a, b := randomID(rng), randomID(rng)
+		d := a.Distance(b)
+		if d != b.Distance(a) {
+			t.Fatalf("distance asymmetric")
+		}
+		if a == b && d != Zero {
+			t.Fatalf("d(a,a) != 0")
+		}
+		// Ring distance can never exceed half the ring.
+		if d.Cmp(halfTop) > 0 {
+			t.Fatalf("distance %s exceeds half ring", d)
+		}
+	}
+}
+
+func TestPropDigitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 200; i++ {
+		a := randomID(rng)
+		for _, b := range []int{1, 2, 4, 8} {
+			pos := rng.Intn(NumDigits(b))
+			digit := rng.Intn(1 << b)
+			got := a.WithDigit(pos, b, digit).Digit(pos, b)
+			if got != digit {
+				t.Fatalf("base 2^%d pos %d: wrote %d read %d", b, pos, digit, got)
+			}
+		}
+	}
+}
+
+func TestPropCommonPrefixConsistentWithDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for i := 0; i < 200; i++ {
+		a, b := randomID(rng), randomID(rng)
+		for _, base := range []int{1, 2, 4, 8} {
+			n := a.CommonPrefixDigits(b, base)
+			for j := 0; j < n; j++ {
+				if a.Digit(j, base) != b.Digit(j, base) {
+					t.Fatalf("digit %d differs inside common prefix", j)
+				}
+			}
+			if n < NumDigits(base) && a.Digit(n, base) == b.Digit(n, base) && a != b {
+				// The digit right after the common prefix may only match if
+				// the ids are equal.
+				if a.CommonPrefixBits(b) >= (n+1)*base {
+					t.Fatalf("prefix undercounted")
+				}
+			}
+		}
+	}
+}
+
+func TestPropXorSelfInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for i := 0; i < 200; i++ {
+		a, b := randomID(rng), randomID(rng)
+		if a.Xor(b).Xor(b) != a {
+			t.Fatalf("xor not self-inverse")
+		}
+	}
+}

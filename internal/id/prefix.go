@@ -1,0 +1,51 @@
+package id
+
+// PrefixFloor returns the smallest identifier sharing the first n bits
+// with a: the first n bits are kept and the rest zeroed. n is clamped to
+// [0, Bits].
+func (a ID) PrefixFloor(n int) ID {
+	if n <= 0 {
+		return Zero
+	}
+	if n >= Bits {
+		return a
+	}
+	var out ID
+	full := n / 8
+	copy(out[:full], a[:full])
+	if rem := n % 8; rem != 0 {
+		mask := byte(0xff) << (8 - rem)
+		out[full] = a[full] & mask
+	}
+	return out
+}
+
+// PrefixCeil returns the largest identifier sharing the first n bits with
+// a: the first n bits are kept and the rest set to one. n is clamped to
+// [0, Bits].
+func (a ID) PrefixCeil(n int) ID {
+	if n <= 0 {
+		return Max
+	}
+	if n >= Bits {
+		return a
+	}
+	out := Max
+	full := n / 8
+	copy(out[:full], a[:full])
+	if rem := n % 8; rem != 0 {
+		mask := byte(0xff) << (8 - rem)
+		out[full] = (a[full] & mask) | ^mask
+	}
+	return out
+}
+
+// DigitRange returns the bounds [lo, hi] of the aligned block of
+// identifiers that share the first row base-2^b digits with a and have
+// digit value d at position row. This is exactly the candidate set for the
+// Pastry routing-table slot (row, d) of a node with id a.
+func (a ID) DigitRange(row, b, d int) (lo, hi ID) {
+	base := a.WithDigit(row, b, d)
+	bits := (row + 1) * b
+	return base.PrefixFloor(bits), base.PrefixCeil(bits)
+}

@@ -1,0 +1,95 @@
+package id
+
+import "sort"
+
+// SortByDistance orders ids in place by increasing ring distance to target,
+// breaking ties on the smaller plain value. The first element afterwards is
+// the numerically closest id — the node that owns target in PAST terms.
+func SortByDistance(target ID, ids []ID) {
+	sort.Slice(ids, func(i, j int) bool {
+		return Closer(target, ids[i], ids[j])
+	})
+}
+
+// KClosest returns the k ids from candidates closest to target, in order of
+// increasing distance. It copies its input and never returns more than
+// len(candidates) elements. For small k it uses a selection pass instead of
+// a full sort, since replica-set computation is on the hot path of every
+// experiment trial.
+func KClosest(target ID, candidates []ID, k int) []ID {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	if k >= len(candidates) {
+		out := make([]ID, len(candidates))
+		copy(out, candidates)
+		SortByDistance(target, out)
+		return out
+	}
+	// Maintain the best k seen so far in a small insertion-sorted buffer.
+	out := make([]ID, 0, k)
+	for _, c := range candidates {
+		if len(out) < k {
+			out = append(out, c)
+			for i := len(out) - 1; i > 0 && Closer(target, out[i], out[i-1]); i-- {
+				out[i], out[i-1] = out[i-1], out[i]
+			}
+			continue
+		}
+		if !Closer(target, c, out[k-1]) {
+			continue
+		}
+		out[k-1] = c
+		for i := k - 1; i > 0 && Closer(target, out[i], out[i-1]); i-- {
+			out[i], out[i-1] = out[i-1], out[i]
+		}
+	}
+	return out
+}
+
+// Closest returns the single id from candidates nearest to target. It
+// panics on an empty candidate set: every caller routes within a non-empty
+// overlay, so an empty set is a bug.
+func Closest(target ID, candidates []ID) ID {
+	if len(candidates) == 0 {
+		panic("id: Closest on empty candidate set")
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if Closer(target, c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Sort orders ids in place in plain ascending unsigned order.
+func Sort(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+}
+
+// Contains reports whether ids contains x.
+func Contains(ids []ID, x ID) bool {
+	for _, v := range ids {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Dedup sorts ids and removes duplicates in place, returning the shortened
+// slice.
+func Dedup(ids []ID) []ID {
+	if len(ids) < 2 {
+		return ids
+	}
+	Sort(ids)
+	out := ids[:1]
+	for _, v := range ids[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

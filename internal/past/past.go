@@ -1,0 +1,416 @@
+// Package past is the PAST-style replicated storage layer TAP anchors
+// tunnel hops in.
+//
+// PAST (Rowstron & Druschel, SOSP'01) stores each item on the k nodes
+// whose nodeIds are numerically closest to the item's key and keeps that
+// invariant across membership changes via a replication manager. TAP's
+// whole fault-tolerance story rests on exactly that invariant: a tunnel
+// hop anchor survives "unless all k nodes have failed simultaneously".
+//
+// The Manager here maintains the invariant the way FreePastry's replica
+// manager does — eagerly after every join and departure — and adds batch
+// semantics (BeginBatch/EndBatch) so experiments can model *simultaneous*
+// failures: inside a batch no re-replication happens, and items whose
+// entire replica set died are lost, which is the quantity Figure 2
+// measures.
+//
+// Values are held as opaque interface values: all peers live in one
+// process, so serialization would add cost without adding fidelity. Item
+// payload sizes for the network model are supplied by the caller where
+// they matter.
+package past
+
+import (
+	"fmt"
+
+	"tap/internal/id"
+	"tap/internal/pastry"
+	"tap/internal/simnet"
+)
+
+// Store is one node's local storage: the fragment of the DHT it is
+// responsible for.
+type Store struct {
+	items map[id.ID]any
+}
+
+func newStore() *Store {
+	return &Store{items: make(map[id.ID]any)}
+}
+
+// Get returns the locally stored value for key.
+func (s *Store) Get(key id.ID) (any, bool) {
+	v, ok := s.items[key]
+	return v, ok
+}
+
+// Len returns the number of locally stored items.
+func (s *Store) Len() int { return len(s.items) }
+
+// Keys returns the stored keys in unspecified order.
+func (s *Store) Keys() []id.ID {
+	out := make([]id.ID, 0, len(s.items))
+	for k := range s.items {
+		out = append(out, k)
+	}
+	return out
+}
+
+type entry struct {
+	value    any
+	replicas []simnet.Addr
+}
+
+// Manager keeps every item on the k live nodes closest to its key.
+type Manager struct {
+	ov      *pastry.Overlay
+	k       int
+	entries map[id.ID]*entry
+	stores  map[simnet.Addr]*Store
+
+	batch     bool
+	batchDead []pastry.NodeRef
+
+	lost    int
+	copies  uint64 // replica copies made during migration, for accounting
+	evicted uint64 // replicas dropped because a node left a replica set
+
+	// OnReplicate observes every placement of a replica on a node — both
+	// initial insertion and migration copies. TAP's adversary model hooks
+	// it: an anchor leaks the moment any colluding node receives a copy,
+	// and the leak is permanent.
+	OnReplicate func(key id.ID, addr simnet.Addr)
+}
+
+// NewManager wires a manager with replication factor k to the overlay's
+// membership events. Any previously installed overlay callbacks are
+// chained, so multiple observers coexist.
+func NewManager(ov *pastry.Overlay, k int) *Manager {
+	if k < 1 {
+		panic(fmt.Sprintf("past: replication factor %d < 1", k))
+	}
+	m := &Manager{
+		ov:      ov,
+		k:       k,
+		entries: make(map[id.ID]*entry),
+		stores:  make(map[simnet.Addr]*Store),
+	}
+	prevJoin, prevLeave := ov.OnJoin, ov.OnLeave
+	ov.OnJoin = func(n *pastry.Node) {
+		m.onJoin(n)
+		if prevJoin != nil {
+			prevJoin(n)
+		}
+	}
+	ov.OnLeave = func(r pastry.NodeRef) {
+		m.onLeave(r)
+		if prevLeave != nil {
+			prevLeave(r)
+		}
+	}
+	return m
+}
+
+// K returns the replication factor.
+func (m *Manager) K() int { return m.k }
+
+// Len returns the number of stored items.
+func (m *Manager) Len() int { return len(m.entries) }
+
+// LostCount returns the number of items lost because their whole replica
+// set failed within one batch.
+func (m *Manager) LostCount() int { return m.lost }
+
+// CopyCount returns the number of replica copies migration has made.
+func (m *Manager) CopyCount() uint64 { return m.copies }
+
+// storeOf returns (creating if needed) the local store for addr.
+func (m *Manager) storeOf(addr simnet.Addr) *Store {
+	s, ok := m.stores[addr]
+	if !ok {
+		s = newStore()
+		m.stores[addr] = s
+	}
+	return s
+}
+
+// StoreAt exposes a node's local store; nil if the node never stored
+// anything.
+func (m *Manager) StoreAt(addr simnet.Addr) *Store { return m.stores[addr] }
+
+// Insert stores value under key on the k closest live nodes. Inserting an
+// existing key is an error: DHT keys here are hashes chosen to be unique.
+func (m *Manager) Insert(key id.ID, value any) error {
+	if _, dup := m.entries[key]; dup {
+		return fmt.Errorf("past: key %s already stored", key.Short())
+	}
+	set := m.ov.ReplicaSet(key, m.k)
+	if len(set) == 0 {
+		return fmt.Errorf("past: no live nodes to store %s", key.Short())
+	}
+	e := &entry{value: value, replicas: make([]simnet.Addr, 0, len(set))}
+	for _, n := range set {
+		addr := simnet.Addr(n.Addr())
+		m.storeOf(addr).items[key] = value
+		e.replicas = append(e.replicas, addr)
+		if m.OnReplicate != nil {
+			m.OnReplicate(key, addr)
+		}
+	}
+	m.entries[key] = e
+	return nil
+}
+
+// Delete removes key everywhere and reports whether it existed.
+func (m *Manager) Delete(key id.ID) bool {
+	e, ok := m.entries[key]
+	if !ok {
+		return false
+	}
+	for _, addr := range e.replicas {
+		if s := m.stores[addr]; s != nil {
+			delete(s.items, key)
+		}
+	}
+	delete(m.entries, key)
+	return true
+}
+
+// Lookup returns the stored value if at least one live replica holds it.
+func (m *Manager) Lookup(key id.ID) (any, bool) {
+	e, ok := m.entries[key]
+	if !ok {
+		return nil, false
+	}
+	for _, addr := range e.replicas {
+		if m.ov.Node(addr) != nil && m.ov.Node(addr).Alive() {
+			return e.value, true
+		}
+	}
+	return nil, false
+}
+
+// Replicas returns the addresses currently holding key, in order of
+// increasing distance at the time of the last migration.
+func (m *Manager) Replicas(key id.ID) []simnet.Addr {
+	e, ok := m.entries[key]
+	if !ok {
+		return nil
+	}
+	out := make([]simnet.Addr, len(e.replicas))
+	copy(out, e.replicas)
+	return out
+}
+
+// HolderHas reports whether the node at addr locally stores key — the
+// check a tunnel hop node performs before it can decrypt a layer.
+func (m *Manager) HolderHas(addr simnet.Addr, key id.ID) bool {
+	s := m.stores[addr]
+	if s == nil {
+		return false
+	}
+	_, ok := s.items[key]
+	return ok
+}
+
+// --- migration ---------------------------------------------------------------
+
+// onJoin moves replicas onto a joiner that entered some keys' replica
+// sets, and evicts the displaced holders.
+func (m *Manager) onJoin(n *pastry.Node) {
+	if m.batch {
+		// Joins inside a batch are deferred with the leaves and settled at
+		// EndBatch, after the dust clears.
+		return
+	}
+	// Candidate keys live on the positional ring neighbors of the joiner:
+	// a key whose replica set now includes the joiner lies within k
+	// positions of it, and that key's current holders lie within k
+	// positions of the key — so every affected store is within 2k
+	// positions of the joiner. The bound is positional, not
+	// distance-based: id clumping cannot defeat it.
+	neighbors := m.ov.RingNeighbors(n.ID(), 2*m.k+2)
+	seen := make(map[id.ID]struct{})
+	for _, nb := range neighbors {
+		s := m.stores[simnet.Addr(nb.Addr())]
+		if s == nil {
+			continue
+		}
+		for key := range s.items {
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			m.resync(key)
+		}
+	}
+}
+
+// onLeave restores the replication factor for every key the departed node
+// held.
+func (m *Manager) onLeave(r pastry.NodeRef) {
+	if m.batch {
+		m.batchDead = append(m.batchDead, r)
+		return
+	}
+	s := m.stores[r.Addr]
+	if s == nil {
+		return
+	}
+	for _, key := range s.Keys() {
+		m.resync(key)
+	}
+}
+
+// resync reconciles one key's replica placement with the oracle replica
+// set. A key with no surviving replica is lost and removed.
+func (m *Manager) resync(key id.ID) {
+	e, ok := m.entries[key]
+	if !ok {
+		return
+	}
+	// Does any current holder survive? Without a survivor there is nobody
+	// to copy from: the item is gone, exactly the "all k failed
+	// simultaneously" case.
+	alive := false
+	for _, addr := range e.replicas {
+		n := m.ov.Node(addr)
+		if n != nil && n.Alive() {
+			alive = true
+			break
+		}
+	}
+	if !alive {
+		for _, addr := range e.replicas {
+			if s := m.stores[addr]; s != nil {
+				delete(s.items, key)
+			}
+		}
+		delete(m.entries, key)
+		m.lost++
+		return
+	}
+	want := m.ov.ReplicaSet(key, m.k)
+	wantSet := make(map[simnet.Addr]struct{}, len(want))
+	newReplicas := make([]simnet.Addr, 0, len(want))
+	for _, n := range want {
+		addr := simnet.Addr(n.Addr())
+		wantSet[addr] = struct{}{}
+		newReplicas = append(newReplicas, addr)
+		st := m.storeOf(addr)
+		if _, has := st.items[key]; !has {
+			st.items[key] = e.value
+			m.copies++
+			if m.OnReplicate != nil {
+				m.OnReplicate(key, addr)
+			}
+		}
+	}
+	for _, addr := range e.replicas {
+		if _, keep := wantSet[addr]; keep {
+			continue
+		}
+		if s := m.stores[addr]; s != nil {
+			if _, had := s.items[key]; had {
+				delete(s.items, key)
+				m.evicted++
+			}
+		}
+	}
+	e.replicas = newReplicas
+}
+
+// BeginBatch suspends migration so a set of failures lands
+// simultaneously: no re-replication happens until EndBatch.
+func (m *Manager) BeginBatch() {
+	if m.batch {
+		panic("past: nested batch")
+	}
+	m.batch = true
+}
+
+// EndBatch processes the accumulated failures: every key held by a dead
+// node is resynced once, and keys whose whole replica set died are counted
+// lost.
+func (m *Manager) EndBatch() {
+	if !m.batch {
+		panic("past: EndBatch without BeginBatch")
+	}
+	m.batch = false
+	seen := make(map[id.ID]struct{})
+	for _, r := range m.batchDead {
+		s := m.stores[r.Addr]
+		if s == nil {
+			continue
+		}
+		for _, key := range s.Keys() {
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			m.resync(key)
+		}
+	}
+	m.batchDead = m.batchDead[:0]
+	// Joins that happened inside the batch may also have shifted replica
+	// sets; a full sweep of dirty regions is unnecessary because resync
+	// already reconciles against the post-batch oracle. Keys untouched by
+	// any dead node but displaced by joiners are reconciled lazily by
+	// CheckInvariants callers or the next event; experiments that mix
+	// joins into a batch should call ResyncAll.
+}
+
+// ResyncAll reconciles every key; O(total items · k). Experiments use it
+// after unusual batch mixes, tests use it to establish a clean baseline.
+func (m *Manager) ResyncAll() {
+	for key := range m.entries {
+		m.resync(key)
+	}
+}
+
+// CheckInvariants verifies that every entry's replica list matches the
+// oracle replica set and that local stores agree with the entry table.
+func (m *Manager) CheckInvariants() error {
+	for key, e := range m.entries {
+		want := m.ov.ReplicaSet(key, m.k)
+		if len(want) != len(e.replicas) {
+			return fmt.Errorf("past: key %s has %d replicas, oracle wants %d", key.Short(), len(e.replicas), len(want))
+		}
+		wantSet := make(map[simnet.Addr]struct{}, len(want))
+		for _, n := range want {
+			wantSet[simnet.Addr(n.Addr())] = struct{}{}
+		}
+		for _, addr := range e.replicas {
+			if _, ok := wantSet[addr]; !ok {
+				return fmt.Errorf("past: key %s replica at %d not in oracle set", key.Short(), addr)
+			}
+			s := m.stores[addr]
+			if s == nil {
+				return fmt.Errorf("past: key %s replica store missing at %d", key.Short(), addr)
+			}
+			if _, ok := s.items[key]; !ok {
+				return fmt.Errorf("past: key %s missing from store at %d", key.Short(), addr)
+			}
+		}
+	}
+	// No store may hold a key the entry table doesn't know about.
+	for addr, s := range m.stores {
+		for key := range s.items {
+			e, ok := m.entries[key]
+			if !ok {
+				return fmt.Errorf("past: orphan key %s in store at %d", key.Short(), addr)
+			}
+			found := false
+			for _, a := range e.replicas {
+				if a == addr {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("past: store at %d holds %s but is not a replica", addr, key.Short())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package past
+
+import (
+	"testing"
+
+	"tap/internal/id"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+)
+
+func setup(t testing.TB, n, k int, seed uint64) (*pastry.Overlay, *Manager) {
+	t.Helper()
+	ov, err := pastry.Build(pastry.DefaultConfig(), n, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ov, NewManager(ov, k)
+}
+
+func insertMany(t testing.TB, m *Manager, count int, seed uint64) []id.ID {
+	t.Helper()
+	s := rng.New(seed)
+	keys := make([]id.ID, count)
+	for i := range keys {
+		var key id.ID
+		s.Bytes(key[:])
+		keys[i] = key
+		if err := m.Insert(key, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func TestInsertPlacesOnKClosest(t *testing.T) {
+	ov, m := setup(t, 100, 3, 1)
+	key := id.HashString("item")
+	if err := m.Insert(key, "v"); err != nil {
+		t.Fatal(err)
+	}
+	want := ov.ReplicaSet(key, 3)
+	got := m.Replicas(key)
+	if len(got) != 3 {
+		t.Fatalf("replica count %d", len(got))
+	}
+	for i, n := range want {
+		if got[i] != simnet.Addr(n.Addr()) {
+			t.Fatalf("replica %d at %d, want %d", i, got[i], n.Addr())
+		}
+		if !m.HolderHas(simnet.Addr(n.Addr()), key) {
+			t.Fatalf("holder %d missing item", n.Addr())
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDuplicateRejected(t *testing.T) {
+	_, m := setup(t, 20, 3, 2)
+	key := id.HashString("dup")
+	if err := m.Insert(key, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(key, 2); err == nil {
+		t.Fatalf("duplicate insert accepted")
+	}
+}
+
+func TestLookupAndDelete(t *testing.T) {
+	_, m := setup(t, 50, 3, 3)
+	key := id.HashString("x")
+	if _, ok := m.Lookup(key); ok {
+		t.Fatalf("lookup of missing key succeeded")
+	}
+	if err := m.Insert(key, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m.Lookup(key)
+	if !ok || v.(int) != 42 {
+		t.Fatalf("lookup = %v %v", v, ok)
+	}
+	if !m.Delete(key) {
+		t.Fatalf("delete reported missing")
+	}
+	if _, ok := m.Lookup(key); ok {
+		t.Fatalf("lookup after delete succeeded")
+	}
+	if m.Delete(key) {
+		t.Fatalf("double delete reported success")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrationOnSingleFailure(t *testing.T) {
+	ov, m := setup(t, 100, 3, 4)
+	keys := insertMany(t, m, 200, 5)
+	// Fail the primary holder of the first key.
+	primary := m.Replicas(keys[0])[0]
+	if err := ov.Fail(primary); err != nil {
+		t.Fatal(err)
+	}
+	// Item must survive and be back at k replicas matching the oracle.
+	if _, ok := m.Lookup(keys[0]); !ok {
+		t.Fatalf("item lost after single failure with k=3")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.LostCount() != 0 {
+		t.Fatalf("lost %d items", m.LostCount())
+	}
+}
+
+func TestMigrationOnJoin(t *testing.T) {
+	ov, m := setup(t, 60, 3, 6)
+	keys := insertMany(t, m, 150, 7)
+	for i := 0; i < 40; i++ {
+		ov.Join()
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if _, ok := m.Lookup(k); !ok {
+			t.Fatalf("item %s lost across joins", k.Short())
+		}
+	}
+}
+
+func TestSequentialFailuresNeverLoseDataWithRepair(t *testing.T) {
+	// One-at-a-time failures always leave k-1 survivors to copy from, so
+	// no data is ever lost — TAP's core availability claim under gradual
+	// churn.
+	ov, m := setup(t, 200, 3, 8)
+	keys := insertMany(t, m, 300, 9)
+	s := rng.New(10)
+	for i := 0; i < 120; i++ {
+		if err := ov.Fail(ov.RandomLive(s).Ref().Addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.LostCount() != 0 {
+		t.Fatalf("lost %d items under sequential failures", m.LostCount())
+	}
+	for _, k := range keys {
+		if _, ok := m.Lookup(k); !ok {
+			t.Fatalf("item %s lost", k.Short())
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchSimultaneousFailureLosesWholeReplicaSets(t *testing.T) {
+	// Failing an entire replica set inside one batch must lose the item;
+	// failing all but one must not.
+	ov, m := setup(t, 100, 3, 11)
+	keyLost := id.HashString("doomed")
+	keySafe := id.HashString("survivor")
+	if err := m.Insert(keyLost, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(keySafe, "b"); err != nil {
+		t.Fatal(err)
+	}
+	lostReplicas := m.Replicas(keyLost)
+	safeReplicas := m.Replicas(keySafe)
+
+	m.BeginBatch()
+	for _, addr := range lostReplicas {
+		if err := ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, addr := range safeReplicas[:2] {
+		// Skip any overlap with the doomed set.
+		alreadyDead := false
+		for _, d := range lostReplicas {
+			if d == addr {
+				alreadyDead = true
+			}
+		}
+		if alreadyDead {
+			continue
+		}
+		if err := ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.EndBatch()
+
+	if _, ok := m.Lookup(keyLost); ok {
+		t.Fatalf("item survived despite whole replica set failing")
+	}
+	if m.LostCount() != 1 {
+		t.Fatalf("lost count = %d, want 1", m.LostCount())
+	}
+	if _, ok := m.Lookup(keySafe); !ok {
+		t.Fatalf("item with one surviving replica was lost")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchMassFailureLossRateMatchesTheory(t *testing.T) {
+	// With fraction p failing simultaneously, an item is lost with
+	// probability ~p^k. Check the empirical rate is in the right
+	// ballpark.
+	ov, m := setup(t, 400, 2, 12)
+	keys := insertMany(t, m, 500, 13)
+	s := rng.New(14)
+	p := 0.4
+	fail := int(float64(ov.Size()) * p)
+	m.BeginBatch()
+	for i := 0; i < fail; i++ {
+		if err := ov.Fail(ov.RandomLive(s).Ref().Addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.EndBatch()
+	lossRate := float64(m.LostCount()) / float64(len(keys))
+	want := p * p // k=2
+	if lossRate < want/3 || lossRate > want*3 {
+		t.Fatalf("loss rate %.3f, theory ~%.3f", lossRate, want)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnKeepsInvariants(t *testing.T) {
+	ov, m := setup(t, 120, 3, 15)
+	keys := insertMany(t, m, 200, 16)
+	s := rng.New(17)
+	for step := 0; step < 200; step++ {
+		if s.Bool(0.5) && ov.Size() > 30 {
+			if err := ov.Fail(ov.RandomLive(s).Ref().Addr); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			ov.Join()
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.LostCount() != 0 {
+		t.Fatalf("sequential churn lost %d items", m.LostCount())
+	}
+	for _, k := range keys {
+		if _, ok := m.Lookup(k); !ok {
+			t.Fatalf("item %s lost under churn", k.Short())
+		}
+	}
+}
+
+func TestNestedBatchPanics(t *testing.T) {
+	_, m := setup(t, 10, 3, 18)
+	m.BeginBatch()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	m.BeginBatch()
+}
+
+func TestEndBatchWithoutBeginPanics(t *testing.T) {
+	_, m := setup(t, 10, 3, 19)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	m.EndBatch()
+}
+
+func TestReplicationFactorClampsToPopulation(t *testing.T) {
+	_, m := setup(t, 2, 5, 20)
+	key := id.HashString("small")
+	if err := m.Insert(key, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Replicas(key)); got != 2 {
+		t.Fatalf("replicas = %d, want clamp to 2", got)
+	}
+}
+
+func TestCopyAccounting(t *testing.T) {
+	ov, m := setup(t, 80, 3, 21)
+	insertMany(t, m, 100, 22)
+	if m.CopyCount() != 0 {
+		t.Fatalf("copies before any churn: %d", m.CopyCount())
+	}
+	if err := ov.Fail(ov.RandomLive(rng.New(23)).Ref().Addr); err != nil {
+		t.Fatal(err)
+	}
+	if m.CopyCount() == 0 {
+		t.Fatalf("failure of a live node should trigger at least one copy")
+	}
+}

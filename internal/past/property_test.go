@@ -1,0 +1,87 @@
+package past
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tap/internal/id"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+)
+
+// Property: after any insert, the replica list length is min(k, live
+// population) and replicas are exactly the oracle's k closest.
+func TestPropInsertPlacement(t *testing.T) {
+	ov, err := pastry.Build(pastry.DefaultConfig(), 60, rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(ov, 4)
+	f := func(raw [20]byte) bool {
+		key := id.ID(raw)
+		if _, dup := m.entries[key]; dup {
+			return true
+		}
+		if err := m.Insert(key, "v"); err != nil {
+			return false
+		}
+		reps := m.Replicas(key)
+		if len(reps) != 4 {
+			return false
+		}
+		want := ov.ReplicaSet(key, 4)
+		for i := range want {
+			if reps[i] != want[i].Ref().Addr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Lookup finds exactly the keys that were inserted and not
+// deleted, across random interleavings.
+func TestPropInsertDeleteLookupConsistent(t *testing.T) {
+	ov, err := pastry.Build(pastry.DefaultConfig(), 40, rng.New(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(ov, 3)
+	live := map[id.ID]bool{}
+	f := func(raw [20]byte, del bool) bool {
+		key := id.ID(raw)
+		if del {
+			got := m.Delete(key)
+			want := live[key]
+			delete(live, key)
+			return got == want
+		}
+		if live[key] {
+			return m.Insert(key, 1) != nil // duplicate must error
+		}
+		if err := m.Insert(key, 1); err != nil {
+			return false
+		}
+		live[key] = true
+		_, ok := m.Lookup(key)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Final sweep: state agrees everywhere.
+	for key := range live {
+		if _, ok := m.Lookup(key); !ok {
+			t.Fatalf("live key %s missing", key.Short())
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package pastry
+
+import (
+	"fmt"
+	"testing"
+
+	"tap/internal/id"
+	"tap/internal/rng"
+)
+
+// The paper uses b=4, but Pastry is parametric; the overlay must be
+// correct for every supported digit width and leaf size.
+func TestConfigGenerality(t *testing.T) {
+	for _, tc := range []struct {
+		b, leaf int
+	}{
+		{1, 8}, {2, 16}, {4, 16}, {8, 32}, {4, 4},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("b=%d_L=%d", tc.b, tc.leaf), func(t *testing.T) {
+			cfg := Config{B: tc.b, LeafSize: tc.leaf, MaxRouteHops: 200}
+			o, err := Build(cfg, 150, rng.New(uint64(tc.b*100+tc.leaf)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := o.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			s := rng.New(7)
+			for trial := 0; trial < 100; trial++ {
+				var key id.ID
+				s.Bytes(key[:])
+				got, hops, err := o.Lookup(o.RandomLive(s).Ref().Addr, key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.ID() != o.OwnerOf(key).ID() {
+					t.Fatalf("misroute with b=%d", tc.b)
+				}
+				if hops > 64 {
+					t.Fatalf("route of %d hops with b=%d", hops, tc.b)
+				}
+			}
+			// Churn correctness under this config.
+			for i := 0; i < 30; i++ {
+				if s.Bool(0.5) && o.Size() > 20 {
+					if err := o.Fail(o.RandomLive(s).Ref().Addr); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					o.Join()
+				}
+			}
+			if err := o.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Smaller b means more hops (log base 2^b): verify the trend.
+func TestConfigHopCountTrend(t *testing.T) {
+	mean := func(b int) float64 {
+		cfg := Config{B: b, LeafSize: 16, MaxRouteHops: 200}
+		o, err := Build(cfg, 800, rng.New(uint64(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := rng.New(9)
+		total := 0
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			var key id.ID
+			s.Bytes(key[:])
+			_, hops, err := o.Lookup(o.RandomLive(s).Ref().Addr, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += hops
+		}
+		return float64(total) / trials
+	}
+	h1 := mean(1)
+	h4 := mean(4)
+	if h1 <= h4 {
+		t.Fatalf("b=1 mean hops %.2f not above b=4 %.2f", h1, h4)
+	}
+}

@@ -1,0 +1,118 @@
+package pastry
+
+import (
+	"fmt"
+
+	"tap/internal/id"
+	"tap/internal/simnet"
+)
+
+// JoinViaRouting adds a node using Pastry's actual join protocol rather
+// than the oracle state-fill of Join:
+//
+//	"...node X asks A to route a special join message with the key equal
+//	to X. ... Pastry routes the join message to the existing node Z whose
+//	id is numerically closest to X. ... X obtains the i-th row of its
+//	routing table from the i-th node encountered along the route from A
+//	to Z, and its leaf set from Z."
+//
+// The joiner's state is therefore only as good as what the path nodes
+// know: typically sparser than the oracle fill (the path may be shorter
+// than the table is deep) and topologically biased toward the bootstrap.
+// Subsequent lazy repair fills the gaps on demand, exactly as in a real
+// deployment. Tests compare this against oracle joins to quantify the
+// difference; all correctness properties hold either way because leaf
+// sets still come from Z's neighborhood and are finalized exactly.
+//
+// bootstrap must be a live node. Returns the new node.
+func (o *Overlay) JoinViaRouting(bootstrap simnet.Addr) (*Node, error) {
+	boot := o.Node(bootstrap)
+	if boot == nil || !boot.Alive() {
+		return nil, fmt.Errorf("pastry: bootstrap %d is not a live node", bootstrap)
+	}
+	nid := o.freshID()
+
+	// Route the join message from the bootstrap toward the joiner's id.
+	path, err := o.RoutePath(bootstrap, nid)
+	if err != nil {
+		return nil, fmt.Errorf("pastry: join route: %w", err)
+	}
+
+	node := &Node{
+		ref:   NodeRef{ID: nid, Addr: simnet.Addr(len(o.nodes))},
+		cfg:   o.cfg,
+		ov:    o,
+		Leaf:  NewLeafSet(nid, o.cfg.LeafSize),
+		RT:    NewRoutingTable(nid, o.cfg.B),
+		alive: true,
+	}
+
+	// Row i of the routing table comes from the i-th node on the path:
+	// copy the entries of that node's row i that are valid for the
+	// joiner (they share at least i digits with the path node, and the
+	// path node shares at least i digits with the joiner's id by
+	// construction of prefix routing — but verify per entry, since early
+	// hops may share fewer digits than their position suggests).
+	for i, ref := range path {
+		donor := o.byID[ref.ID]
+		if donor == nil {
+			continue
+		}
+		copyRow := func(row int) {
+			for d := 0; d < 1<<o.cfg.B; d++ {
+				e, ok := donor.RT.Get(row, d)
+				if !ok || e.ID == nid {
+					continue
+				}
+				node.RT.Consider(e)
+			}
+		}
+		// The donor's usable depth for the joiner is the shared prefix.
+		shared := donor.ref.ID.CommonPrefixDigits(nid, o.cfg.B)
+		maxRow := i
+		if maxRow > shared {
+			maxRow = shared
+		}
+		for row := 0; row <= maxRow && row < donor.RT.Rows(); row++ {
+			copyRow(row)
+		}
+		// Path nodes themselves are candidates too.
+		node.RT.Consider(donor.ref)
+	}
+
+	// Register the node, then take the leaf set from Z's neighborhood.
+	// Z is the numerically closest existing node — path's end — so the
+	// joiner's exact leaf set is Z's, adjusted for the insertion. Since
+	// the overlay keeps leaf sets exact, recomputeLeaf from the live
+	// index after insertion is identical to "obtain leaf set from Z and
+	// adjust", without modeling the adjustment messages.
+	o.nodes = append(o.nodes, node)
+	o.byID[nid] = node
+	p := o.pos(nid)
+	o.index = append(o.index, id.ID{})
+	copy(o.index[p+1:], o.index[p:])
+	o.index[p] = nid
+	o.recomputeLeaf(node)
+	// Leaf members enter the routing table as well (Pastry's final
+	// state transfer includes Z's leaf set).
+	for _, nb := range o.neighborsAround(p) {
+		if nb == node {
+			continue
+		}
+		o.recomputeLeaf(nb)
+		nb.RT.Consider(node.ref)
+		node.RT.Consider(nb.ref)
+	}
+	// "Finally, X transmits a copy of its resulting state to each of the
+	// nodes found in its neighborhood set, leaf set, and routing table":
+	// those nodes learn about X.
+	for _, e := range node.RT.Entries() {
+		if donor := o.byID[e.ID]; donor != nil {
+			donor.RT.Consider(node.ref)
+		}
+	}
+	if o.OnJoin != nil {
+		o.OnJoin(node)
+	}
+	return node, nil
+}

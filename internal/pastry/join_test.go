@@ -1,0 +1,139 @@
+package pastry
+
+import (
+	"testing"
+
+	"tap/internal/id"
+	"tap/internal/rng"
+)
+
+func TestJoinViaRoutingBasics(t *testing.T) {
+	o := build(t, 150, 41)
+	s := rng.New(42)
+	boot := o.RandomLive(s)
+	before := o.Size()
+	n, err := o.JoinViaRouting(boot.Ref().Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != before+1 {
+		t.Fatalf("size %d", o.Size())
+	}
+	if !n.Alive() || o.ByID(n.ID()) != n {
+		t.Fatalf("joiner not registered")
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinViaRoutingFromDeadBootstrap(t *testing.T) {
+	o := build(t, 50, 43)
+	s := rng.New(44)
+	victim := o.RandomLive(s)
+	if err := o.Fail(victim.Ref().Addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.JoinViaRouting(victim.Ref().Addr); err == nil {
+		t.Fatalf("join via dead bootstrap accepted")
+	}
+}
+
+func TestJoinViaRoutingRoutingStaysCorrect(t *testing.T) {
+	// A population that joined entirely via the protocol must still route
+	// every key to its true owner (leaf sets guarantee it; routing tables
+	// only affect hop counts).
+	o := build(t, 80, 45)
+	s := rng.New(46)
+	for i := 0; i < 60; i++ {
+		boot := o.RandomLive(s)
+		if _, err := o.JoinViaRouting(boot.Ref().Addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		var key id.ID
+		s.Bytes(key[:])
+		got, _, err := o.Lookup(o.RandomLive(s).Ref().Addr, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID() != o.OwnerOf(key).ID() {
+			t.Fatalf("protocol-joined overlay misroutes %s", key.Short())
+		}
+	}
+}
+
+func TestJoinViaRoutingTableQuality(t *testing.T) {
+	// The protocol join yields a usable but typically sparser table than
+	// the oracle fill; lazy repair closes the gap on demand. Quantify
+	// both claims.
+	o := build(t, 400, 47)
+	s := rng.New(48)
+
+	proto, err := o.JoinViaRouting(o.RandomLive(s).Ref().Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := o.Join()
+
+	pEntries := proto.RT.EntryCount()
+	oEntries := oracle.RT.EntryCount()
+	if pEntries == 0 {
+		t.Fatalf("protocol join produced an empty routing table")
+	}
+	if pEntries > oEntries+16 {
+		t.Fatalf("protocol join (%d entries) implausibly richer than oracle (%d)", pEntries, oEntries)
+	}
+	// Both nodes route correctly regardless.
+	for trial := 0; trial < 100; trial++ {
+		var key id.ID
+		s.Bytes(key[:])
+		for _, src := range []*Node{proto, oracle} {
+			got, _, err := o.Lookup(src.Ref().Addr, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ID() != o.OwnerOf(key).ID() {
+				t.Fatalf("misroute from %s joiner", src.ID().Short())
+			}
+		}
+	}
+	t.Logf("routing table entries: protocol join %d, oracle join %d", pEntries, oEntries)
+}
+
+func TestJoinViaRoutingPrefixConstraints(t *testing.T) {
+	o := build(t, 200, 49)
+	s := rng.New(50)
+	n, err := o.JoinViaRouting(o.RandomLive(s).Ref().Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < n.RT.Rows(); row++ {
+		for d := 0; d < 16; d++ {
+			e, ok := n.RT.Get(row, d)
+			if !ok {
+				continue
+			}
+			if e.ID.CommonPrefixDigits(n.ID(), 4) < row || e.ID.Digit(row, 4) != d {
+				t.Fatalf("slot (%d,%d) constraint violated by %s", row, d, e.ID.Short())
+			}
+		}
+	}
+}
+
+func TestJoinViaRoutingFiresCallback(t *testing.T) {
+	o := build(t, 60, 51)
+	s := rng.New(52)
+	fired := 0
+	o.OnJoin = func(*Node) { fired++ }
+	if _, err := o.JoinViaRouting(o.RandomLive(s).Ref().Addr); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("OnJoin fired %d times", fired)
+	}
+}

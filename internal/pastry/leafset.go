@@ -1,0 +1,102 @@
+package pastry
+
+import (
+	"tap/internal/id"
+)
+
+// LeafSet tracks the L/2 live nodes with the numerically closest smaller
+// nodeIds (the counter-clockwise ring neighbors) and the L/2 closest
+// larger ones (clockwise), relative to the owning node.
+//
+// The leaf set is the component that makes greedy routing terminate
+// correctly, so the overlay maintains it eagerly and exactly; see the
+// package comment.
+type LeafSet struct {
+	owner   id.ID
+	half    int
+	smaller []NodeRef // ccw[0] is the immediate predecessor, ccw order
+	larger  []NodeRef // cw[0] is the immediate successor, cw order
+}
+
+// NewLeafSet returns an empty leaf set with capacity L/2 per side.
+func NewLeafSet(owner id.ID, leafSize int) *LeafSet {
+	return &LeafSet{
+		owner:   owner,
+		half:    leafSize / 2,
+		smaller: make([]NodeRef, 0, leafSize/2),
+		larger:  make([]NodeRef, 0, leafSize/2),
+	}
+}
+
+// ReplaceAll installs the given neighbors wholesale. smaller must be
+// ordered walking counter-clockwise from the owner (nearest first), larger
+// clockwise (nearest first). The overlay computes these exactly from its
+// live index; each side is truncated to L/2.
+func (l *LeafSet) ReplaceAll(smaller, larger []NodeRef) {
+	l.smaller = l.smaller[:0]
+	l.larger = l.larger[:0]
+	for i := 0; i < len(smaller) && i < l.half; i++ {
+		l.smaller = append(l.smaller, smaller[i])
+	}
+	for i := 0; i < len(larger) && i < l.half; i++ {
+		l.larger = append(l.larger, larger[i])
+	}
+}
+
+// Members returns all leaf set entries. The slice is freshly allocated.
+func (l *LeafSet) Members() []NodeRef {
+	out := make([]NodeRef, 0, len(l.smaller)+len(l.larger))
+	out = append(out, l.smaller...)
+	out = append(out, l.larger...)
+	return out
+}
+
+// Size returns the number of entries currently held.
+func (l *LeafSet) Size() int { return len(l.smaller) + len(l.larger) }
+
+// Contains reports whether nid is in the leaf set.
+func (l *LeafSet) Contains(nid id.ID) bool {
+	for _, r := range l.smaller {
+		if r.ID == nid {
+			return true
+		}
+	}
+	for _, r := range l.larger {
+		if r.ID == nid {
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether key falls within the arc spanned by the leaf set
+// (from the farthest smaller neighbor, through the owner, to the farthest
+// larger neighbor). Pastry delivers directly out of the leaf set when this
+// holds. An incomplete side (fewer than L/2 entries) means the node can see
+// the whole ring on that side, so coverage is total.
+func (l *LeafSet) Covers(key id.ID) bool {
+	if len(l.smaller) < l.half || len(l.larger) < l.half {
+		// The overlay has at most L nodes: the leaf set is the whole ring.
+		return true
+	}
+	lo := l.smaller[len(l.smaller)-1].ID
+	hi := l.larger[len(l.larger)-1].ID
+	return id.BetweenIncl(lo, hi, key)
+}
+
+// ClosestTo returns the leaf-set member (or the owner itself, passed as
+// self) numerically closest to key.
+func (l *LeafSet) ClosestTo(key id.ID, self NodeRef) NodeRef {
+	best := self
+	for _, r := range l.smaller {
+		if id.Closer(key, r.ID, best.ID) {
+			best = r
+		}
+	}
+	for _, r := range l.larger {
+		if id.Closer(key, r.ID, best.ID) {
+			best = r
+		}
+	}
+	return best
+}

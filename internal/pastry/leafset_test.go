@@ -1,0 +1,197 @@
+package pastry
+
+import (
+	"testing"
+
+	"tap/internal/id"
+	"tap/internal/simnet"
+)
+
+func ref(v uint64) NodeRef {
+	return NodeRef{ID: id.FromUint64(v), Addr: simnet.Addr(v)}
+}
+
+func refs(vs ...uint64) []NodeRef {
+	out := make([]NodeRef, len(vs))
+	for i, v := range vs {
+		out[i] = ref(v)
+	}
+	return out
+}
+
+func TestLeafSetReplaceAllTruncates(t *testing.T) {
+	l := NewLeafSet(id.FromUint64(100), 4) // half = 2
+	l.ReplaceAll(refs(90, 80, 70), refs(110, 120, 130))
+	if l.Size() != 4 {
+		t.Fatalf("size = %d, want 4 (truncated to half per side)", l.Size())
+	}
+	if l.Contains(id.FromUint64(70)) || l.Contains(id.FromUint64(130)) {
+		t.Fatalf("entries beyond half retained")
+	}
+	if !l.Contains(id.FromUint64(90)) || !l.Contains(id.FromUint64(120)) {
+		t.Fatalf("near entries missing")
+	}
+}
+
+func TestLeafSetMembersFreshCopy(t *testing.T) {
+	l := NewLeafSet(id.FromUint64(100), 4)
+	l.ReplaceAll(refs(90), refs(110))
+	m := l.Members()
+	m[0] = ref(1)
+	if l.Contains(id.FromUint64(1)) {
+		t.Fatalf("Members aliases internal storage")
+	}
+}
+
+func TestLeafSetCoversFullSides(t *testing.T) {
+	l := NewLeafSet(id.FromUint64(100), 4)
+	l.ReplaceAll(refs(90, 80), refs(110, 120))
+	// Inside the [80, 120] arc.
+	if !l.Covers(id.FromUint64(85)) || !l.Covers(id.FromUint64(100)) || !l.Covers(id.FromUint64(119)) {
+		t.Fatalf("interior keys not covered")
+	}
+	if !l.Covers(id.FromUint64(80)) || !l.Covers(id.FromUint64(120)) {
+		t.Fatalf("boundary keys not covered")
+	}
+	if l.Covers(id.FromUint64(79)) || l.Covers(id.FromUint64(121)) {
+		t.Fatalf("exterior keys covered")
+	}
+}
+
+func TestLeafSetCoversIncompleteSideMeansWholeRing(t *testing.T) {
+	// Fewer than half entries on a side: the node sees the whole ring.
+	l := NewLeafSet(id.FromUint64(100), 8)
+	l.ReplaceAll(refs(90), refs(110))
+	if !l.Covers(id.FromUint64(500)) || !l.Covers(id.Max) {
+		t.Fatalf("small overlay should cover everything")
+	}
+}
+
+func TestLeafSetCoversWrappedArc(t *testing.T) {
+	// Owner near zero: the smaller side wraps past Max.
+	owner := id.FromUint64(10)
+	l := NewLeafSet(owner, 4)
+	wrapLo := id.Max.Sub(id.FromUint64(5)) // Max-5
+	l.ReplaceAll([]NodeRef{{ID: id.Max, Addr: 1}, {ID: wrapLo, Addr: 2}}, refs(20, 30))
+	if !l.Covers(id.FromUint64(0)) || !l.Covers(id.Max) {
+		t.Fatalf("wrapped arc not covered")
+	}
+	if !l.Covers(id.FromUint64(25)) {
+		t.Fatalf("cw side not covered")
+	}
+	if l.Covers(id.FromUint64(1000)) {
+		t.Fatalf("far exterior covered despite full sides")
+	}
+}
+
+func TestLeafSetClosestTo(t *testing.T) {
+	self := ref(100)
+	l := NewLeafSet(self.ID, 4)
+	l.ReplaceAll(refs(90, 80), refs(110, 120))
+	if got := l.ClosestTo(id.FromUint64(108), self); got.ID != id.FromUint64(110) {
+		t.Fatalf("closest to 108 = %s", got.ID.Short())
+	}
+	if got := l.ClosestTo(id.FromUint64(101), self); got.ID != self.ID {
+		t.Fatalf("closest to 101 should be self, got %s", got.ID.Short())
+	}
+	if got := l.ClosestTo(id.FromUint64(84), self); got.ID != id.FromUint64(80) {
+		t.Fatalf("closest to 84 = %s", got.ID.Short())
+	}
+}
+
+func TestRoutingTableSetGetClear(t *testing.T) {
+	owner := id.MustParse("a000000000000000000000000000000000000000")
+	rt := NewRoutingTable(owner, 4)
+	if _, ok := rt.Get(0, 5); ok {
+		t.Fatalf("empty table returned an entry")
+	}
+	e := NodeRef{ID: id.MustParse("5000000000000000000000000000000000000000"), Addr: 7}
+	rt.Set(0, 5, e)
+	got, ok := rt.Get(0, 5)
+	if !ok || got != e {
+		t.Fatalf("Get = %v %v", got, ok)
+	}
+	if rt.EntryCount() != 1 {
+		t.Fatalf("count = %d", rt.EntryCount())
+	}
+	rt.Clear(0, 5)
+	if _, ok := rt.Get(0, 5); ok {
+		t.Fatalf("cleared entry still present")
+	}
+	// Clearing beyond materialized rows is a no-op.
+	rt.Clear(30, 2)
+}
+
+func TestRoutingTableConsider(t *testing.T) {
+	owner := id.MustParse("a000000000000000000000000000000000000000")
+	rt := NewRoutingTable(owner, 4)
+	// Candidate sharing no prefix: row 0, its first digit.
+	c1 := NodeRef{ID: id.MustParse("5100000000000000000000000000000000000000"), Addr: 1}
+	rt.Consider(c1)
+	if got, ok := rt.Get(0, 5); !ok || got != c1 {
+		t.Fatalf("Consider did not install row-0 candidate")
+	}
+	// A second candidate for the same slot must not evict the first.
+	c2 := NodeRef{ID: id.MustParse("5200000000000000000000000000000000000000"), Addr: 2}
+	rt.Consider(c2)
+	if got, _ := rt.Get(0, 5); got != c1 {
+		t.Fatalf("Consider evicted an existing entry")
+	}
+	// Candidate sharing 1 digit: row 1.
+	c3 := NodeRef{ID: id.MustParse("a300000000000000000000000000000000000000"), Addr: 3}
+	rt.Consider(c3)
+	if got, ok := rt.Get(1, 3); !ok || got != c3 {
+		t.Fatalf("row-1 candidate not installed")
+	}
+	// The owner itself is never installed.
+	rt.Consider(NodeRef{ID: owner, Addr: 9})
+	if rt.EntryCount() != 2 {
+		t.Fatalf("count = %d after self-consider", rt.EntryCount())
+	}
+}
+
+func TestRoutingTableRemove(t *testing.T) {
+	owner := id.MustParse("a000000000000000000000000000000000000000")
+	rt := NewRoutingTable(owner, 4)
+	c := NodeRef{ID: id.MustParse("5100000000000000000000000000000000000000"), Addr: 1}
+	rt.Set(0, 5, c)
+	if !rt.Remove(c.ID) {
+		t.Fatalf("Remove reported missing")
+	}
+	if rt.Remove(c.ID) {
+		t.Fatalf("double remove reported success")
+	}
+	// Removing an id whose slot holds a different node must not clear it.
+	rt.Set(0, 5, c)
+	other := id.MustParse("5200000000000000000000000000000000000000")
+	if rt.Remove(other) {
+		t.Fatalf("Remove cleared a different node's entry")
+	}
+	if _, ok := rt.Get(0, 5); !ok {
+		t.Fatalf("entry lost")
+	}
+}
+
+func TestRoutingTableEntries(t *testing.T) {
+	owner := id.MustParse("a000000000000000000000000000000000000000")
+	rt := NewRoutingTable(owner, 4)
+	want := map[id.ID]bool{}
+	for _, hex := range []string{
+		"1000000000000000000000000000000000000000",
+		"b000000000000000000000000000000000000000",
+		"a100000000000000000000000000000000000000",
+	} {
+		r := NodeRef{ID: id.MustParse(hex), Addr: 1}
+		rt.Consider(r)
+		want[r.ID] = true
+	}
+	got := rt.Entries()
+	if len(got) != len(want) {
+		t.Fatalf("entries = %d, want %d", len(got), len(want))
+	}
+	for _, e := range got {
+		if !want[e.ID] {
+			t.Fatalf("unexpected entry %s", e.ID.Short())
+		}
+	}
+}

@@ -1,0 +1,540 @@
+package pastry
+
+import (
+	"fmt"
+	"sort"
+
+	"tap/internal/id"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+)
+
+// Overlay owns every node in the simulated network: construction, joins,
+// departures, and the sorted live-node index that serves as both the
+// correctness oracle and the information source for state repair.
+type Overlay struct {
+	cfg    Config
+	stream *rng.Stream
+
+	nodes []*Node         // indexed by Addr; entries persist after death
+	index []id.ID         // sorted ids of live nodes
+	byID  map[id.ID]*Node // live nodes only
+
+	// Proximity, when set, lets routing-table construction prefer nearby
+	// nodes as real Pastry does (it fills slots with the topologically
+	// closest matching node). It must be deterministic. Nil means "take
+	// the first candidate".
+	Proximity func(a, b simnet.Addr) int64
+
+	// OnJoin and OnLeave observe membership changes after the overlay
+	// state is consistent. The replication manager (internal/past) uses
+	// them to migrate replicas.
+	OnJoin  func(*Node)
+	OnLeave func(NodeRef)
+
+	// RepairCount counts lazy routing-table repairs, for ablation benches.
+	RepairCount uint64
+}
+
+// Build constructs an overlay of n nodes with fully materialized, exact
+// routing state — the steady state an idle Pastry network converges to.
+// Node ids are drawn from stream, so the same (seed, n) yields the same
+// network.
+func Build(cfg Config, n int, stream *rng.Stream) (*Overlay, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("pastry: network size %d < 1", n)
+	}
+	if cfg.MaxRouteHops == 0 {
+		cfg.MaxRouteHops = 64
+	}
+	o := &Overlay{
+		cfg:    cfg,
+		stream: stream.Split("pastry"),
+		byID:   make(map[id.ID]*Node, n),
+	}
+	o.nodes = make([]*Node, 0, n)
+	o.index = make([]id.ID, 0, n)
+	for i := 0; i < n; i++ {
+		nid := o.freshID()
+		node := &Node{
+			ref:   NodeRef{ID: nid, Addr: simnet.Addr(i)},
+			cfg:   cfg,
+			ov:    o,
+			Leaf:  NewLeafSet(nid, cfg.LeafSize),
+			RT:    NewRoutingTable(nid, cfg.B),
+			alive: true,
+		}
+		o.nodes = append(o.nodes, node)
+		o.byID[nid] = node
+		o.index = append(o.index, nid)
+	}
+	sort.Slice(o.index, func(i, j int) bool { return o.index[i].Less(o.index[j]) })
+	for _, node := range o.nodes {
+		o.recomputeLeaf(node)
+		o.fillRoutingTable(node)
+	}
+	return o, nil
+}
+
+// freshID draws a random identifier not already in use.
+func (o *Overlay) freshID() id.ID {
+	for {
+		var nid id.ID
+		o.stream.Bytes(nid[:])
+		if _, dup := o.byID[nid]; !dup && !nid.IsZero() {
+			return nid
+		}
+	}
+}
+
+// Config returns the overlay parameters.
+func (o *Overlay) Config() Config { return o.cfg }
+
+// Size returns the number of live nodes.
+func (o *Overlay) Size() int { return len(o.index) }
+
+// NumAddrs returns the total address space ever allocated (live + dead).
+func (o *Overlay) NumAddrs() int { return len(o.nodes) }
+
+// Node returns the node at addr, live or dead. Nil for unallocated
+// addresses.
+func (o *Overlay) Node(addr simnet.Addr) *Node {
+	if int(addr) < 0 || int(addr) >= len(o.nodes) {
+		return nil
+	}
+	return o.nodes[addr]
+}
+
+// ByID returns the live node with the given id, or nil.
+func (o *Overlay) ByID(nid id.ID) *Node { return o.byID[nid] }
+
+// aliveRef reports whether the referenced node is currently live.
+func (o *Overlay) aliveRef(r NodeRef) bool {
+	n, ok := o.byID[r.ID]
+	return ok && n.ref.Addr == r.Addr
+}
+
+// LiveRefs returns references to all live nodes in ring order.
+func (o *Overlay) LiveRefs() []NodeRef {
+	out := make([]NodeRef, len(o.index))
+	for i, nid := range o.index {
+		out[i] = o.byID[nid].ref
+	}
+	return out
+}
+
+// RandomLive returns a uniformly random live node drawn from stream.
+func (o *Overlay) RandomLive(stream *rng.Stream) *Node {
+	return o.byID[o.index[stream.Intn(len(o.index))]]
+}
+
+// --- oracle ---------------------------------------------------------------
+
+// pos returns the insertion position of nid in the sorted index.
+func (o *Overlay) pos(nid id.ID) int {
+	return sort.Search(len(o.index), func(i int) bool {
+		return !o.index[i].Less(nid)
+	})
+}
+
+// OwnerOf returns the live node numerically closest to key: the oracle
+// answer routing must agree with, and the node PAST stores a key's primary
+// replica on.
+func (o *Overlay) OwnerOf(key id.ID) *Node {
+	n := len(o.index)
+	if n == 0 {
+		return nil
+	}
+	p := o.pos(key) % n
+	best := o.index[p]
+	prev := o.index[(p-1+n)%n]
+	if id.Closer(key, prev, best) {
+		best = prev
+	}
+	return o.byID[best]
+}
+
+// ReplicaSet returns the k live nodes numerically closest to key, ordered
+// by increasing distance — PAST's replica set for the key.
+func (o *Overlay) ReplicaSet(key id.ID, k int) []*Node {
+	n := len(o.index)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	// The k closest ids on a sorted ring are a contiguous window around
+	// the insertion point; merge outward from both sides.
+	lo := (o.pos(key) - 1 + n) % n
+	hi := o.pos(key) % n
+	out := make([]*Node, 0, k)
+	for len(out) < k {
+		a, b := o.index[lo], o.index[hi]
+		if lo == hi || !id.Closer(key, a, b) {
+			out = append(out, o.byID[b])
+			hi = (hi + 1) % n
+		} else {
+			out = append(out, o.byID[a])
+			lo = (lo - 1 + n) % n
+		}
+	}
+	return out
+}
+
+// RingNeighbors returns the live nodes within `each` ring positions on
+// either side of nid (plus nid's own node when live): the positional
+// neighborhood. Replica migration uses it — a key's replica holders are
+// within k *positions* of the key, a bound that holds regardless of how
+// unevenly ids clump, unlike distance-based windows.
+func (o *Overlay) RingNeighbors(nid id.ID, each int) []*Node {
+	n := len(o.index)
+	if n == 0 || each < 0 {
+		return nil
+	}
+	p := o.pos(nid) % n
+	seen := make(map[id.ID]struct{}, 2*each+1)
+	out := make([]*Node, 0, 2*each+1)
+	add := func(q int) {
+		qid := o.index[(q%n+n)%n]
+		if _, dup := seen[qid]; dup {
+			return
+		}
+		seen[qid] = struct{}{}
+		out = append(out, o.byID[qid])
+	}
+	add(p)
+	for i := 1; i <= each && len(seen) < n; i++ {
+		add(p + i)
+		add(p - i)
+	}
+	return out
+}
+
+// rangeMembers returns the live ids within [lo, hi] (an aligned prefix
+// block, so it never wraps).
+func (o *Overlay) rangeMembers(lo, hi id.ID) []id.ID {
+	i := o.pos(lo)
+	j := sort.Search(len(o.index), func(k int) bool {
+		return hi.Less(o.index[k])
+	})
+	if i >= j {
+		return nil
+	}
+	return o.index[i:j]
+}
+
+// --- leaf sets --------------------------------------------------------------
+
+// recomputeLeaf installs node's exact leaf set from the live index.
+func (o *Overlay) recomputeLeaf(node *Node) {
+	n := len(o.index)
+	half := o.cfg.LeafSize / 2
+	others := n - 1
+	if others < 0 {
+		others = 0
+	}
+	fwdN := half
+	if others < fwdN {
+		fwdN = others
+	}
+	bwdN := others - fwdN
+	if bwdN > half {
+		bwdN = half
+	}
+	p := o.pos(node.ref.ID)
+	larger := make([]NodeRef, 0, fwdN)
+	for i := 1; i <= fwdN; i++ {
+		nid := o.index[(p+i)%n]
+		larger = append(larger, o.byID[nid].ref)
+	}
+	smaller := make([]NodeRef, 0, bwdN)
+	for i := 1; i <= bwdN; i++ {
+		nid := o.index[(p-i+n)%n]
+		smaller = append(smaller, o.byID[nid].ref)
+	}
+	node.Leaf.ReplaceAll(smaller, larger)
+}
+
+// neighborsOf returns the live nodes within half ring positions on each
+// side of position p — exactly the nodes whose leaf sets can reference the
+// node at p.
+func (o *Overlay) neighborsAround(p int) []*Node {
+	n := len(o.index)
+	half := o.cfg.LeafSize / 2
+	seen := map[id.ID]struct{}{}
+	var out []*Node
+	for i := 1; i <= half && i < n; i++ {
+		for _, q := range []int{(p + i) % n, (p - i + n) % n} {
+			nid := o.index[q]
+			if _, dup := seen[nid]; dup {
+				continue
+			}
+			seen[nid] = struct{}{}
+			out = append(out, o.byID[nid])
+		}
+	}
+	return out
+}
+
+// --- routing tables ---------------------------------------------------------
+
+// rtSampleLimit bounds how many candidates are examined per slot when
+// choosing by proximity; real Pastry also sees only a sample (whoever it
+// heard from), so a small deterministic sample is both fast and faithful.
+const rtSampleLimit = 8
+
+// fillRoutingTable populates node's table from the live index. Rows are
+// filled until the block of ids sharing the row prefix with the node
+// contains nobody else (deeper rows have no candidates).
+func (o *Overlay) fillRoutingTable(node *Node) {
+	digits := id.NumDigits(o.cfg.B)
+	for row := 0; row < digits; row++ {
+		// Population of the block sharing `row` digits with the node.
+		blockLo := node.ref.ID.PrefixFloor(row * o.cfg.B)
+		blockHi := node.ref.ID.PrefixCeil(row * o.cfg.B)
+		if len(o.rangeMembers(blockLo, blockHi)) <= 1 {
+			break
+		}
+		own := node.ref.ID.Digit(row, o.cfg.B)
+		for d := 0; d < 1<<o.cfg.B; d++ {
+			if d == own {
+				continue
+			}
+			lo, hi := node.ref.ID.DigitRange(row, o.cfg.B, d)
+			members := o.rangeMembers(lo, hi)
+			if len(members) == 0 {
+				continue
+			}
+			node.RT.Set(row, d, o.pickBySlot(node, members))
+		}
+	}
+}
+
+// pickBySlot chooses one candidate for a routing-table slot: the
+// proximity-closest of a small deterministic sample when a proximity
+// metric is configured, otherwise a deterministic per-node choice.
+// The per-node variation matters: if every node picked the same
+// representative for a block, all routes into that block would funnel
+// through one node — a bottleneck real Pastry does not have (each node
+// fills slots with whatever nearby candidate it happened to learn).
+func (o *Overlay) pickBySlot(node *Node, members []id.ID) NodeRef {
+	if len(members) == 1 {
+		return o.byID[members[0]].ref
+	}
+	if o.Proximity == nil {
+		// Mix the owner's id with the block's first member to spread
+		// choices across nodes while staying deterministic.
+		h := node.ref.ID.Xor(members[0]).Low64()
+		return o.byID[members[h%uint64(len(members))]].ref
+	}
+	step := len(members) / rtSampleLimit
+	if step == 0 {
+		step = 1
+	}
+	best := o.byID[members[0]].ref
+	bestProx := o.Proximity(node.ref.Addr, best.Addr)
+	for i := step; i < len(members); i += step {
+		c := o.byID[members[i]].ref
+		if p := o.Proximity(node.ref.Addr, c.Addr); p < bestProx {
+			best, bestProx = c, p
+		}
+	}
+	return best
+}
+
+// repairEntry finds a live replacement for the empty or stale slot
+// (row, digit) of node and installs it. It models Pastry's lazy repair
+// protocol (asking peers for a matching node). Returns false when the
+// identifier block for that slot is genuinely empty.
+func (o *Overlay) repairEntry(node *Node, row, digit int) (NodeRef, bool) {
+	lo, hi := node.ref.ID.DigitRange(row, o.cfg.B, digit)
+	members := o.rangeMembers(lo, hi)
+	if len(members) == 0 {
+		return NodeRef{}, false
+	}
+	o.RepairCount++
+	ref := o.pickBySlot(node, members)
+	node.RT.Set(row, digit, ref)
+	return ref, true
+}
+
+// --- membership --------------------------------------------------------------
+
+// Join adds a new node with a fresh random id, wiring its state and its
+// neighbors' leaf sets, and returns it. The new node gets the next unused
+// address.
+func (o *Overlay) Join() *Node {
+	return o.JoinWithID(o.freshID())
+}
+
+// JoinWithID adds a node with a chosen id (tests use this to build
+// adversarial placements). Panics if the id is taken.
+func (o *Overlay) JoinWithID(nid id.ID) *Node {
+	if _, dup := o.byID[nid]; dup {
+		panic(fmt.Sprintf("pastry: duplicate id %s", nid))
+	}
+	node := &Node{
+		ref:   NodeRef{ID: nid, Addr: simnet.Addr(len(o.nodes))},
+		cfg:   o.cfg,
+		ov:    o,
+		Leaf:  NewLeafSet(nid, o.cfg.LeafSize),
+		RT:    NewRoutingTable(nid, o.cfg.B),
+		alive: true,
+	}
+	o.nodes = append(o.nodes, node)
+	o.byID[nid] = node
+
+	p := o.pos(nid)
+	o.index = append(o.index, id.ID{})
+	copy(o.index[p+1:], o.index[p:])
+	o.index[p] = nid
+
+	o.recomputeLeaf(node)
+	o.fillRoutingTable(node)
+	// Neighbors must learn about the joiner immediately (leaf-set
+	// protocol); everyone in the joiner's routing table learns about it
+	// opportunistically, as Pastry's join message distribution does.
+	for _, nb := range o.neighborsAround(p) {
+		if nb == node {
+			continue
+		}
+		o.recomputeLeaf(nb)
+		nb.RT.Consider(node.ref)
+	}
+	for _, e := range node.RT.Entries() {
+		o.byID[e.ID].RT.Consider(node.ref)
+	}
+	if o.OnJoin != nil {
+		o.OnJoin(node)
+	}
+	return node
+}
+
+// Fail removes the node at addr abruptly: no goodbye, neighbors repair
+// their leaf sets, and stale routing-table entries elsewhere linger until
+// routing trips over them. Both crashes and voluntary leaves use this
+// path — the paper treats them identically for tunnel availability.
+func (o *Overlay) Fail(addr simnet.Addr) error {
+	node := o.Node(addr)
+	if node == nil {
+		return fmt.Errorf("pastry: no node at addr %d", addr)
+	}
+	if !node.alive {
+		return fmt.Errorf("pastry: node at addr %d already dead", addr)
+	}
+	if len(o.index) == 1 {
+		return fmt.Errorf("pastry: refusing to fail the last node")
+	}
+	p := o.pos(node.ref.ID)
+	// Collect the repair set before removal: the ring neighbors within L/2
+	// positions of the dead node are exactly the nodes whose leaf sets can
+	// reference it.
+	affected := o.neighborsAround(p)
+	o.index = append(o.index[:p], o.index[p+1:]...)
+	delete(o.byID, node.ref.ID)
+	node.alive = false
+
+	// Leaf-set repair: the surviving ring neighbors recompute, and drop
+	// the dead node from their routing tables (they detected the failure
+	// directly).
+	for _, nb := range affected {
+		o.recomputeLeaf(nb)
+		nb.RT.Remove(node.ref.ID)
+	}
+	if o.OnLeave != nil {
+		o.OnLeave(node.ref)
+	}
+	return nil
+}
+
+// --- routing ------------------------------------------------------------------
+
+// RoutePath walks the hop-by-hop route for key starting at the live node
+// with address from, using only per-node routing state. The returned path
+// includes the start node and ends at the destination. It is the
+// message-free form of routing used by analyses; networked delivery
+// replays the same decisions per hop.
+func (o *Overlay) RoutePath(from simnet.Addr, key id.ID) ([]NodeRef, error) {
+	cur := o.Node(from)
+	if cur == nil || !cur.alive {
+		return nil, fmt.Errorf("pastry: route from dead or unknown addr %d", from)
+	}
+	path := []NodeRef{cur.ref}
+	for hop := 0; ; hop++ {
+		if hop > o.cfg.MaxRouteHops {
+			return path, fmt.Errorf("pastry: route for %s exceeded %d hops", key.Short(), o.cfg.MaxRouteHops)
+		}
+		next, deliver := cur.NextHop(key)
+		if deliver {
+			return path, nil
+		}
+		nxt := o.byID[next.ID]
+		if nxt == nil {
+			return path, fmt.Errorf("pastry: next hop %s vanished mid-route", next)
+		}
+		path = append(path, nxt.ref)
+		cur = nxt
+	}
+}
+
+// Lookup routes to the owner of key from a given start and returns the
+// owning node plus the hop count (path length minus one).
+func (o *Overlay) Lookup(from simnet.Addr, key id.ID) (*Node, int, error) {
+	path, err := o.RoutePath(from, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	dst := o.byID[path[len(path)-1].ID]
+	return dst, len(path) - 1, nil
+}
+
+// CheckInvariants verifies structural invariants of the overlay: the index
+// is sorted and unique, every live node's leaf set matches the oracle, and
+// routing-table entries satisfy their prefix constraints. Tests and
+// cmd/tapinspect call it; it is O(N · L).
+func (o *Overlay) CheckInvariants() error {
+	for i := 1; i < len(o.index); i++ {
+		if !o.index[i-1].Less(o.index[i]) {
+			return fmt.Errorf("index unsorted at %d", i)
+		}
+	}
+	for _, nid := range o.index {
+		node := o.byID[nid]
+		if node == nil || !node.alive {
+			return fmt.Errorf("index references dead node %s", nid.Short())
+		}
+		// Leaf set must equal the oracle's view.
+		want := NewLeafSet(nid, o.cfg.LeafSize)
+		tmp := &Node{ref: node.ref, cfg: o.cfg, ov: o, Leaf: want}
+		o.recomputeLeaf(tmp)
+		gotM, wantM := node.Leaf.Members(), want.Members()
+		if len(gotM) != len(wantM) {
+			return fmt.Errorf("node %s leaf size %d, oracle %d", nid.Short(), len(gotM), len(wantM))
+		}
+		for i := range gotM {
+			if gotM[i] != wantM[i] {
+				return fmt.Errorf("node %s leaf[%d] = %v, oracle %v", nid.Short(), i, gotM[i], wantM[i])
+			}
+		}
+		// Routing-table prefix constraints.
+		for row := 0; row < node.RT.Rows(); row++ {
+			for d := 0; d < 1<<o.cfg.B; d++ {
+				e, ok := node.RT.Get(row, d)
+				if !ok {
+					continue
+				}
+				if e.ID.CommonPrefixDigits(nid, o.cfg.B) < row {
+					return fmt.Errorf("node %s RT[%d][%d] prefix violation", nid.Short(), row, d)
+				}
+				if e.ID.Digit(row, o.cfg.B) != d {
+					return fmt.Errorf("node %s RT[%d][%d] digit violation", nid.Short(), row, d)
+				}
+			}
+		}
+	}
+	return nil
+}

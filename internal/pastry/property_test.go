@@ -1,0 +1,125 @@
+package pastry
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tap/internal/id"
+	"tap/internal/rng"
+)
+
+// Property: routing from any live node delivers any key to the same node
+// the oracle names — the invariant everything above Pastry depends on.
+func TestPropRouteMatchesOracle(t *testing.T) {
+	o := build(t, 257, 99) // deliberately not a power of two
+	f := func(seed uint64, raw [20]byte) bool {
+		key := id.ID(raw)
+		from := o.RandomLive(rng.New(seed))
+		got, _, err := o.Lookup(from.Ref().Addr, key)
+		if err != nil {
+			return false
+		}
+		return got.ID() == o.OwnerOf(key).ID()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the replica set is always sorted by increasing ring distance
+// and contains no duplicates, for any key and any k.
+func TestPropReplicaSetSortedUnique(t *testing.T) {
+	o := build(t, 120, 98)
+	f := func(raw [20]byte, kRaw uint8) bool {
+		key := id.ID(raw)
+		k := int(kRaw%12) + 1
+		set := o.ReplicaSet(key, k)
+		seen := map[id.ID]bool{}
+		for i, n := range set {
+			if seen[n.ID()] {
+				return false
+			}
+			seen[n.ID()] = true
+			if i > 0 && id.Closer(key, n.ID(), set[i-1].ID()) {
+				return false // out of order
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the first element of the replica set is the owner.
+func TestPropReplicaSetHeadIsOwner(t *testing.T) {
+	o := build(t, 90, 97)
+	f := func(raw [20]byte) bool {
+		key := id.ID(raw)
+		set := o.ReplicaSet(key, 3)
+		return len(set) == 3 && set[0].ID() == o.OwnerOf(key).ID()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: routing-table Consider never violates the prefix/digit
+// constraints of the slot it installs into.
+func TestPropConsiderRespectsSlotConstraints(t *testing.T) {
+	owner := id.HashString("owner")
+	f := func(raw [20]byte) bool {
+		cand := id.ID(raw)
+		if cand == owner {
+			return true
+		}
+		rt := NewRoutingTable(owner, 4)
+		rt.Consider(NodeRef{ID: cand, Addr: 1})
+		for row := 0; row < rt.Rows(); row++ {
+			for d := 0; d < 16; d++ {
+				e, ok := rt.Get(row, d)
+				if !ok {
+					continue
+				}
+				if e.ID.CommonPrefixDigits(owner, 4) < row || e.ID.Digit(row, 4) != d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after any interleaving of joins and single failures, the
+// overlay invariants hold and data-path routing still matches the oracle.
+func TestPropChurnPreservesInvariants(t *testing.T) {
+	f := func(seed uint64, ops [24]uint8) bool {
+		s := rng.New(seed)
+		o, err := Build(DefaultConfig(), 40, s.Split("build"))
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			if op%2 == 0 && o.Size() > 8 {
+				if err := o.Fail(o.RandomLive(s).Ref().Addr); err != nil {
+					return false
+				}
+			} else {
+				o.Join()
+			}
+		}
+		if o.CheckInvariants() != nil {
+			return false
+		}
+		var key id.ID
+		s.Bytes(key[:])
+		got, _, err := o.Lookup(o.RandomLive(s).Ref().Addr, key)
+		return err == nil && got.ID() == o.OwnerOf(key).ID()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

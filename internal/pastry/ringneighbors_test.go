@@ -1,0 +1,85 @@
+package pastry
+
+import (
+	"testing"
+
+	"tap/internal/id"
+	"tap/internal/rng"
+)
+
+func TestRingNeighborsBasics(t *testing.T) {
+	o := build(t, 60, 71)
+	n := o.RandomLive(rng.New(1))
+	got := o.RingNeighbors(n.ID(), 3)
+	if len(got) != 7 {
+		t.Fatalf("len = %d, want 7 (center + 3 each side)", len(got))
+	}
+	if got[0] != n {
+		t.Fatalf("center node not first")
+	}
+	seen := map[id.ID]bool{}
+	for _, m := range got {
+		if seen[m.ID()] {
+			t.Fatalf("duplicate neighbor")
+		}
+		seen[m.ID()] = true
+		if !m.Alive() {
+			t.Fatalf("dead neighbor returned")
+		}
+	}
+}
+
+func TestRingNeighborsArePositional(t *testing.T) {
+	// The returned set must be exactly the nodes within `each` index
+	// positions of the center in the sorted ring, regardless of id
+	// spacing.
+	o := build(t, 100, 72)
+	refs := o.LiveRefs() // ring order
+	centerIdx := 41
+	center := refs[centerIdx]
+	const each = 4
+	want := map[id.ID]bool{center.ID: true}
+	for i := 1; i <= each; i++ {
+		want[refs[(centerIdx+i)%len(refs)].ID] = true
+		want[refs[(centerIdx-i+len(refs))%len(refs)].ID] = true
+	}
+	got := o.RingNeighbors(center.ID, each)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for _, m := range got {
+		if !want[m.ID()] {
+			t.Fatalf("unexpected neighbor %s", m.ID().Short())
+		}
+	}
+}
+
+func TestRingNeighborsSmallOverlay(t *testing.T) {
+	o := build(t, 3, 73)
+	n := o.RandomLive(rng.New(2))
+	got := o.RingNeighbors(n.ID(), 10)
+	if len(got) != 3 {
+		t.Fatalf("small overlay should return everyone once, got %d", len(got))
+	}
+}
+
+func TestRingNeighborsForAbsentID(t *testing.T) {
+	// The center id need not be a live node (a key, for instance).
+	o := build(t, 40, 74)
+	key := id.HashString("some key")
+	got := o.RingNeighbors(key, 2)
+	if len(got) < 4 || len(got) > 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// The closest node to the key must be among them.
+	owner := o.OwnerOf(key)
+	found := false
+	for _, m := range got {
+		if m == owner {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("owner not in the key's ring neighborhood")
+	}
+}

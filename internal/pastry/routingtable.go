@@ -1,0 +1,126 @@
+package pastry
+
+import (
+	"tap/internal/id"
+)
+
+// RoutingTable is Pastry's per-digit prefix table. Row r holds, for each
+// digit value d, a node whose id shares the first r digits with the owner
+// and has d as its (r+1)-th digit. The owner's own column in each row is
+// conceptually itself and stays empty.
+//
+// Entries may go stale when nodes fail; routing skips dead entries and the
+// overlay repairs them lazily (see Node.nextHop and Overlay.repairEntry).
+type RoutingTable struct {
+	owner id.ID
+	b     int
+	cols  int
+	rows  [][]NodeRef // rows[r][d]; zero NodeRef means empty
+	used  int         // number of rows materialized
+}
+
+// NewRoutingTable returns a table with no rows materialized; rows grow on
+// first touch up to the id digit count.
+func NewRoutingTable(owner id.ID, b int) *RoutingTable {
+	return &RoutingTable{
+		owner: owner,
+		b:     b,
+		cols:  1 << b,
+	}
+}
+
+// ensureRow materializes rows up to and including r.
+func (t *RoutingTable) ensureRow(r int) {
+	for len(t.rows) <= r {
+		t.rows = append(t.rows, make([]NodeRef, t.cols))
+	}
+	if r+1 > t.used {
+		t.used = r + 1
+	}
+}
+
+// Rows returns the number of materialized rows.
+func (t *RoutingTable) Rows() int { return len(t.rows) }
+
+// Get returns the entry at (row, digit) and whether it is populated.
+func (t *RoutingTable) Get(row, digit int) (NodeRef, bool) {
+	if row >= len(t.rows) {
+		return NodeRef{}, false
+	}
+	e := t.rows[row][digit]
+	if e.ID.IsZero() {
+		return NodeRef{}, false
+	}
+	return e, true
+}
+
+// Set installs ref at (row, digit), materializing the row if needed.
+func (t *RoutingTable) Set(row, digit int, ref NodeRef) {
+	t.ensureRow(row)
+	t.rows[row][digit] = ref
+}
+
+// Clear empties the entry at (row, digit).
+func (t *RoutingTable) Clear(row, digit int) {
+	if row < len(t.rows) {
+		t.rows[row][digit] = NodeRef{}
+	}
+}
+
+// Consider offers a candidate node to the table: if the slot the candidate
+// belongs in is empty, it is installed. This is how nodes learn about
+// joiners and route-path peers opportunistically.
+func (t *RoutingTable) Consider(ref NodeRef) {
+	if ref.ID == t.owner {
+		return
+	}
+	row := t.owner.CommonPrefixDigits(ref.ID, t.b)
+	if row >= id.NumDigits(t.b) {
+		return
+	}
+	digit := ref.ID.Digit(row, t.b)
+	if _, ok := t.Get(row, digit); !ok {
+		t.Set(row, digit, ref)
+	}
+}
+
+// Remove clears any entry referring to nid and reports whether one was
+// found.
+func (t *RoutingTable) Remove(nid id.ID) bool {
+	row := t.owner.CommonPrefixDigits(nid, t.b)
+	if row >= len(t.rows) {
+		return false
+	}
+	digit := nid.Digit(row, t.b)
+	if t.rows[row][digit].ID == nid {
+		t.rows[row][digit] = NodeRef{}
+		return true
+	}
+	return false
+}
+
+// Entries returns all populated entries. Freshly allocated.
+func (t *RoutingTable) Entries() []NodeRef {
+	var out []NodeRef
+	for _, row := range t.rows {
+		for _, e := range row {
+			if !e.ID.IsZero() {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// EntryCount returns the number of populated entries.
+func (t *RoutingTable) EntryCount() int {
+	n := 0
+	for _, row := range t.rows {
+		for _, e := range row {
+			if !e.ID.IsZero() {
+				n++
+			}
+		}
+	}
+	return n
+}

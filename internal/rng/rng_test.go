@@ -1,0 +1,160 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(1)
+	b := New(1)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Split("alpha")
+	c2 := root.Split("beta")
+	if c1.Seed() == c2.Seed() {
+		t.Fatalf("different labels produced the same child seed")
+	}
+	// Same label twice must be identical.
+	c3 := New(7).Split("alpha")
+	for i := 0; i < 50; i++ {
+		if c1.Uint64() != c3.Uint64() {
+			t.Fatalf("same label produced different streams at draw %d", i)
+		}
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	root := New(9)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := root.SplitN("trial", i)
+		if seen[s.Seed()] {
+			t.Fatalf("duplicate child seed at index %d", i)
+		}
+		seen[s.Seed()] = true
+	}
+}
+
+func TestSplitDoesNotConsumeParent(t *testing.T) {
+	a := New(3)
+	b := New(3)
+	_ = a.Split("x") // must not advance a's state
+	for i := 0; i < 20; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Split consumed parent state")
+		}
+	}
+}
+
+func TestDurationRangeMsBounds(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		ms := s.DurationRangeMs(1, 230)
+		if ms < 1 || ms > 230 {
+			t.Fatalf("latency %d out of [1,230]", ms)
+		}
+	}
+}
+
+func TestDurationRangeMsDegenerate(t *testing.T) {
+	s := New(11)
+	if got := s.DurationRangeMs(5, 5); got != 5 {
+		t.Fatalf("degenerate range returned %d", got)
+	}
+}
+
+func TestDurationRangeMsPanicsInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	New(1).DurationRangeMs(10, 5)
+}
+
+func TestPermFirstK(t *testing.T) {
+	s := New(13)
+	for _, tc := range []struct{ n, k int }{{10, 3}, {10, 10}, {10, 0}, {5, 9}, {10000, 5}} {
+		out := s.PermFirstK(tc.n, tc.k)
+		wantLen := tc.k
+		if wantLen > tc.n {
+			wantLen = tc.n
+		}
+		if len(out) != wantLen {
+			t.Fatalf("n=%d k=%d: len=%d want %d", tc.n, tc.k, len(out), wantLen)
+		}
+		seen := map[int]bool{}
+		for _, v := range out {
+			if v < 0 || v >= tc.n {
+				t.Fatalf("index %d out of range [0,%d)", v, tc.n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate index %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermFirstKUniformish(t *testing.T) {
+	// Each index should be selected roughly k/n of the time.
+	s := New(17)
+	const n, k, trials = 20, 5, 20000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range s.PermFirstK(n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * float64(k) / float64(n)
+	for i, c := range counts {
+		ratio := float64(c) / want
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("index %d selected %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestPairwiseMsSymmetricAndBounded(t *testing.T) {
+	f := func(seed, a, b uint64) bool {
+		x := PairwiseMs(seed, a, b, 1, 230)
+		y := PairwiseMs(seed, b, a, 1, 230)
+		return x == y && x >= 1 && x <= 230
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairwiseMsVaries(t *testing.T) {
+	seen := map[int]bool{}
+	for i := uint64(0); i < 200; i++ {
+		seen[PairwiseMs(1, 0, i, 1, 230)] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("pairwise latencies too concentrated: %d distinct values", len(seen))
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(19)
+	const trials = 50000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if p < 0.28 || p > 0.32 {
+		t.Fatalf("Bool(0.3) hit rate %.3f", p)
+	}
+}

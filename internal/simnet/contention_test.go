@@ -1,0 +1,90 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUplinkContentionSerializesSends(t *testing.T) {
+	k := NewKernel()
+	net := NewNetwork(k, DefaultLinkModel(3), 4)
+	net.UplinkContention = true
+	const size = 150_000 // 0.8 s serialization at 1.5 Mb/s
+	var t1, t2 Time
+	net.Attach(0, HandlerFunc(func(*Network, Addr, Message) {}))
+	net.Attach(1, HandlerFunc(func(*Network, Addr, Message) { t1 = k.Now() }))
+	net.Attach(2, HandlerFunc(func(*Network, Addr, Message) { t2 = k.Now() }))
+	net.Send(0, 1, testMsg{size: size})
+	net.Send(0, 2, testMsg{size: size})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ser := net.Link.Serialization(size)
+	want1 := ser + net.Link.Latency(0, 1)
+	want2 := 2*ser + net.Link.Latency(0, 2)
+	if t1 != want1 {
+		t.Fatalf("first arrival %v, want %v", t1, want1)
+	}
+	if t2 != want2 {
+		t.Fatalf("second arrival %v, want %v (queued behind first)", t2, want2)
+	}
+}
+
+func TestUplinkContentionIdleLinkNoPenalty(t *testing.T) {
+	// Sends spaced wider than their serialization time behave as without
+	// contention.
+	k := NewKernel()
+	net := NewNetwork(k, DefaultLinkModel(4), 3)
+	net.UplinkContention = true
+	const size = 1000
+	var at Time
+	net.Attach(0, HandlerFunc(func(*Network, Addr, Message) {}))
+	net.Attach(1, HandlerFunc(func(*Network, Addr, Message) { at = k.Now() }))
+	k.Schedule(time.Second, func() { net.Send(0, 1, testMsg{size: size}) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Second + net.Link.HopDelay(0, 1, size)
+	if at != want {
+		t.Fatalf("arrival %v, want %v", at, want)
+	}
+}
+
+func TestUplinkContentionDistinctSources(t *testing.T) {
+	// Different sources never queue behind each other.
+	k := NewKernel()
+	net := NewNetwork(k, DefaultLinkModel(5), 4)
+	net.UplinkContention = true
+	const size = 150_000
+	var t1, t2 Time
+	net.Attach(0, HandlerFunc(func(*Network, Addr, Message) {}))
+	net.Attach(1, HandlerFunc(func(*Network, Addr, Message) {}))
+	net.Attach(2, HandlerFunc(func(*Network, Addr, Message) { t1 = k.Now() }))
+	net.Attach(3, HandlerFunc(func(*Network, Addr, Message) { t2 = k.Now() }))
+	net.Send(0, 2, testMsg{size: size})
+	net.Send(1, 3, testMsg{size: size})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if t1 != net.Link.HopDelay(0, 2, size) || t2 != net.Link.HopDelay(1, 3, size) {
+		t.Fatalf("independent sources interfered: %v %v", t1, t2)
+	}
+}
+
+func TestContentionOffUnchanged(t *testing.T) {
+	k := NewKernel()
+	net := NewNetwork(k, DefaultLinkModel(6), 3)
+	const size = 150_000
+	var t1, t2 Time
+	net.Attach(0, HandlerFunc(func(*Network, Addr, Message) {}))
+	net.Attach(1, HandlerFunc(func(*Network, Addr, Message) { t1 = k.Now() }))
+	net.Attach(2, HandlerFunc(func(*Network, Addr, Message) { t2 = k.Now() }))
+	net.Send(0, 1, testMsg{size: size})
+	net.Send(0, 2, testMsg{size: size})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if t1 != net.Link.HopDelay(0, 1, size) || t2 != net.Link.HopDelay(0, 2, size) {
+		t.Fatalf("default mode changed: %v %v", t1, t2)
+	}
+}

@@ -1,0 +1,144 @@
+// Package simnet is the deterministic discrete-event network emulator the
+// experiments run on.
+//
+// The paper evaluates TAP "on a network emulation environment, through
+// which the instances of the node software communicate", with every peer in
+// a single process, per-link latencies drawn uniformly from 1–230 ms, and
+// 1.5 Mb/s links. This package reproduces that substrate: a single-threaded
+// event loop with a simulated clock (so a 10,000-node, multi-second
+// experiment runs in milliseconds of wall time and is bit-for-bit
+// reproducible), plus a link model with pairwise latency and
+// store-and-forward serialization delay.
+//
+// The kernel is deliberately not concurrent: determinism is worth more to a
+// simulation than parallelism within one trial. Experiments parallelize
+// across trials instead (see internal/experiments).
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant on the simulated clock, expressed as the duration
+// since the start of the simulation.
+type Time = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event scheduler. The zero value is not usable;
+// construct with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	steps   uint64
+	// MaxSteps guards against runaway simulations (a routing loop would
+	// otherwise spin the event loop forever). Zero means no limit.
+	MaxSteps uint64
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Steps returns the number of events executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Schedule runs fn after delay of simulated time. A negative delay is a
+// programming error and panics; zero schedules for "immediately after the
+// current event", preserving causal order.
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("simnet: negative delay %v", delay))
+	}
+	k.At(k.now+delay, fn)
+}
+
+// At runs fn at the absolute simulated instant t, which must not be in the
+// past.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("simnet: scheduling into the past (%v < %v)", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// stay queued; a subsequent Run resumes them.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, Stop is
+// called, or MaxSteps is exceeded (in which case it returns an error
+// identifying the overrun — almost always a routing loop).
+func (k *Kernel) Run() error {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		e := heap.Pop(&k.queue).(*event)
+		k.now = e.at
+		k.steps++
+		if k.MaxSteps > 0 && k.steps > k.MaxSteps {
+			return fmt.Errorf("simnet: exceeded %d events at t=%v (likely a message loop)", k.MaxSteps, k.now)
+		}
+		e.fn()
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events beyond the deadline remain queued.
+func (k *Kernel) RunUntil(deadline Time) error {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		if k.queue[0].at > deadline {
+			break
+		}
+		e := heap.Pop(&k.queue).(*event)
+		k.now = e.at
+		k.steps++
+		if k.MaxSteps > 0 && k.steps > k.MaxSteps {
+			return fmt.Errorf("simnet: exceeded %d events at t=%v", k.MaxSteps, k.now)
+		}
+		e.fn()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return nil
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.queue) }

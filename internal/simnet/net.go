@@ -1,0 +1,205 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"tap/internal/rng"
+)
+
+// Addr is a network address — the simulator's stand-in for an IP address.
+// Addresses are small dense integers so the link model can hash pairs
+// cheaply; address 0 is valid.
+type Addr int
+
+// NoAddr marks "no address known", used by IP-hint fields in optimized
+// tunnel messages.
+const NoAddr Addr = -1
+
+// Message is anything deliverable over the simulated network. SizeBytes
+// drives the serialization delay; implementations report their wire size
+// rather than actually marshaling on the hot path.
+type Message interface {
+	SizeBytes() int
+}
+
+// Handler receives messages addressed to a node.
+type Handler interface {
+	// Deliver is invoked by the event loop when a message arrives. from is
+	// the immediate network-level sender (the previous hop, not the
+	// originator). Implementations run synchronously on the event loop and
+	// must schedule, not block.
+	Deliver(net *Network, from Addr, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(net *Network, from Addr, msg Message)
+
+// Deliver calls f.
+func (f HandlerFunc) Deliver(net *Network, from Addr, msg Message) { f(net, from, msg) }
+
+// LinkModel computes per-hop delays.
+type LinkModel struct {
+	// MinLatency and MaxLatency bound the uniformly distributed pairwise
+	// propagation delay. The paper uses 1 ms and 230 ms.
+	MinLatency, MaxLatency time.Duration
+	// BandwidthBitsPerSec is the per-link throughput; the paper uses
+	// 1.5 Mb/s. Zero disables serialization delay.
+	BandwidthBitsPerSec int64
+	// Seed roots the deterministic pairwise latency function.
+	Seed uint64
+}
+
+// DefaultLinkModel returns the paper's evaluation parameters.
+func DefaultLinkModel(seed uint64) LinkModel {
+	return LinkModel{
+		MinLatency:          1 * time.Millisecond,
+		MaxLatency:          230 * time.Millisecond,
+		BandwidthBitsPerSec: 1_500_000,
+		Seed:                seed,
+	}
+}
+
+// Latency returns the propagation delay of the (a, b) link. It is
+// symmetric and stable for the lifetime of the model.
+func (m LinkModel) Latency(a, b Addr) time.Duration {
+	if a == b {
+		return 0
+	}
+	lo := int(m.MinLatency / time.Millisecond)
+	hi := int(m.MaxLatency / time.Millisecond)
+	ms := rng.PairwiseMs(m.Seed, uint64(a), uint64(b), lo, hi)
+	return time.Duration(ms) * time.Millisecond
+}
+
+// Serialization returns the time to clock size bytes onto a link.
+func (m LinkModel) Serialization(size int) time.Duration {
+	if m.BandwidthBitsPerSec <= 0 || size <= 0 {
+		return 0
+	}
+	bits := int64(size) * 8
+	return time.Duration(bits * int64(time.Second) / m.BandwidthBitsPerSec)
+}
+
+// HopDelay is the full store-and-forward delay of one hop: serialization
+// followed by propagation.
+func (m LinkModel) HopDelay(a, b Addr, size int) time.Duration {
+	return m.Serialization(size) + m.Latency(a, b)
+}
+
+// Stats counts network-level activity for an experiment run.
+type Stats struct {
+	MessagesSent      uint64
+	MessagesDelivered uint64
+	MessagesDropped   uint64 // destination dead at delivery time
+	BytesSent         uint64
+}
+
+// Network binds the kernel, the link model, and the attached nodes.
+type Network struct {
+	Kernel *Kernel
+	Link   LinkModel
+	Stats  Stats
+
+	handlers []Handler // indexed by Addr; nil = detached
+	// DropHook, when non-nil, observes messages dropped because the
+	// destination was detached. Tunnel forwarding uses it in tests to
+	// assert loss behaviour.
+	DropHook func(from, to Addr, msg Message)
+	// SendHook, when non-nil, observes every transmission at send time —
+	// the wire-level tap traffic-analysis tests use.
+	SendHook func(from, to Addr, msg Message)
+
+	// UplinkContention, when set, serializes each node's outgoing
+	// transmissions: a second send from the same node cannot begin
+	// clocking bits until the first finishes serializing. Off by default
+	// (the paper's model, where concurrent transfers do not interact);
+	// flows that overlap in time are more faithful with it on.
+	UplinkContention bool
+	uplinkFree       map[Addr]Time // next instant each uplink is idle
+}
+
+// NewNetwork returns a network with capacity for n addresses.
+func NewNetwork(k *Kernel, link LinkModel, n int) *Network {
+	return &Network{
+		Kernel:   k,
+		Link:     link,
+		handlers: make([]Handler, n),
+	}
+}
+
+// Attach binds handler to addr. Attaching over a live handler is a
+// programming error.
+func (n *Network) Attach(addr Addr, h Handler) {
+	if n.handlers[addr] != nil {
+		panic(fmt.Sprintf("simnet: address %d already attached", addr))
+	}
+	n.handlers[addr] = h
+}
+
+// Detach removes the node at addr, modeling a crash or departure. Messages
+// in flight toward it are dropped on arrival. Detaching an address that
+// was never attached (e.g. a joiner beyond the allocated space) is a
+// no-op.
+func (n *Network) Detach(addr Addr) {
+	if int(addr) < 0 || int(addr) >= len(n.handlers) {
+		return
+	}
+	n.handlers[addr] = nil
+}
+
+// Attached reports whether addr currently has a live handler.
+func (n *Network) Attached(addr Addr) bool {
+	return int(addr) >= 0 && int(addr) < len(n.handlers) && n.handlers[addr] != nil
+}
+
+// Grow extends the address space to hold at least n addresses, for
+// experiments that add nodes after construction.
+func (n *Network) Grow(size int) {
+	for len(n.handlers) < size {
+		n.handlers = append(n.handlers, nil)
+	}
+}
+
+// Send schedules delivery of msg from src to dst after the link's
+// store-and-forward delay. Sending from a detached source is allowed (the
+// source may have crashed between scheduling and execution); sending to a
+// detached destination consumes network resources and is counted as a drop
+// at delivery time, matching a real network where the sender cannot know.
+func (n *Network) Send(src, dst Addr, msg Message) {
+	if n.SendHook != nil {
+		n.SendHook(src, dst, msg)
+	}
+	n.Stats.MessagesSent++
+	n.Stats.BytesSent += uint64(msg.SizeBytes())
+	var delay Time
+	if n.UplinkContention {
+		if n.uplinkFree == nil {
+			n.uplinkFree = make(map[Addr]Time)
+		}
+		start := n.Kernel.Now()
+		if free := n.uplinkFree[src]; free > start {
+			start = free
+		}
+		txEnd := start + n.Link.Serialization(msg.SizeBytes())
+		n.uplinkFree[src] = txEnd
+		delay = txEnd + n.Link.Latency(src, dst) - n.Kernel.Now()
+	} else {
+		delay = n.Link.HopDelay(src, dst, msg.SizeBytes())
+	}
+	n.Kernel.Schedule(delay, func() {
+		h := n.handlers[dst]
+		if h == nil {
+			n.Stats.MessagesDropped++
+			if n.DropHook != nil {
+				n.DropHook(src, dst, msg)
+			}
+			return
+		}
+		n.Stats.MessagesDelivered++
+		h.Deliver(n, src, msg)
+	})
+}
+
+// Now exposes the kernel clock, saving callers a dereference.
+func (n *Network) Now() Time { return n.Kernel.Now() }

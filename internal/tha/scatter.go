@@ -1,0 +1,87 @@
+package tha
+
+import (
+	"fmt"
+
+	"tap/internal/rng"
+)
+
+// §3.5: "The chosen THAs must scatter in the DHT identifier space as far
+// as possible (i.e., with different hopids' prefixes) to minimize the
+// probability that a single node has the information of multiple or all
+// tunnel hops of the tunnel to be formed."
+//
+// ChooseScattered picks l anchors from the owner's pool such that, as far
+// as the pool allows, no two share their leading base-2^b digit; within
+// that constraint the choice is random. It returns an error when the pool
+// is smaller than l.
+func ChooseScattered(pool []Secret, l int, b int, stream *rng.Stream) ([]Secret, error) {
+	if l <= 0 {
+		return nil, fmt.Errorf("tha: tunnel length %d must be positive", l)
+	}
+	if len(pool) < l {
+		return nil, fmt.Errorf("tha: pool of %d anchors cannot form a %d-hop tunnel", len(pool), l)
+	}
+	// Bucket the pool by leading digit, then draw buckets round-robin in
+	// random order, taking one anchor per bucket per round. This maximizes
+	// prefix diversity: duplicates of a digit are used only once all other
+	// available digits are exhausted.
+	buckets := make(map[int][]Secret)
+	for _, s := range pool {
+		d := s.HopID.Digit(0, b)
+		buckets[d] = append(buckets[d], s)
+	}
+	digits := make([]int, 0, len(buckets))
+	for d := range buckets {
+		digits = append(digits, d)
+		// Shuffle within each bucket so repeated tunnel formation does not
+		// always reuse the same anchor.
+		bk := buckets[d]
+		stream.Shuffle(len(bk), func(i, j int) { bk[i], bk[j] = bk[j], bk[i] })
+	}
+	// Deterministic bucket order, then shuffled.
+	sortInts(digits)
+	stream.Shuffle(len(digits), func(i, j int) { digits[i], digits[j] = digits[j], digits[i] })
+
+	out := make([]Secret, 0, l)
+	for round := 0; len(out) < l; round++ {
+		took := false
+		for _, d := range digits {
+			bk := buckets[d]
+			if round >= len(bk) {
+				continue
+			}
+			out = append(out, bk[round])
+			took = true
+			if len(out) == l {
+				break
+			}
+		}
+		if !took {
+			// Cannot happen while len(pool) >= l, but guard against an
+			// infinite loop on invariant violation.
+			return nil, fmt.Errorf("tha: internal scatter exhaustion")
+		}
+	}
+	return out, nil
+}
+
+// sortInts is a tiny insertion sort; digit sets have at most 2^b members.
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// PrefixDiversity reports how many distinct leading base-2^b digits a
+// chosen anchor set spans; experiments use it to quantify the scatter
+// rule's effect.
+func PrefixDiversity(secrets []Secret, b int) int {
+	seen := make(map[int]struct{})
+	for _, s := range secrets {
+		seen[s.HopID.Digit(0, b)] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,354 @@
+package tha
+
+import (
+	"testing"
+
+	"tap/internal/crypt"
+	"tap/internal/id"
+	"tap/internal/past"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+)
+
+func setup(t testing.TB, n, k int, seed uint64) (*pastry.Overlay, *Directory) {
+	t.Helper()
+	ov, err := pastry.Build(pastry.DefaultConfig(), n, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ov, NewDirectory(ov, past.NewManager(ov, k))
+}
+
+func TestGeneratorUniqueAndDeterministicStructure(t *testing.T) {
+	s := rng.New(1)
+	g, err := NewGenerator([]byte("node-A"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[id.ID]bool{}
+	for i := 0; i < 100; i++ {
+		sec, err := g.Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[sec.HopID] {
+			t.Fatalf("duplicate hopid at %d", i)
+		}
+		seen[sec.HopID] = true
+		if !sec.PWHash.Verify(sec.PW) {
+			t.Fatalf("secret PW does not match its own hash")
+		}
+	}
+	if g.Counter() != 100 {
+		t.Fatalf("counter = %d", g.Counter())
+	}
+}
+
+func TestGeneratorsDoNotCollideAcrossNodes(t *testing.T) {
+	s := rng.New(2)
+	gA, _ := NewGenerator([]byte("node-A"), s)
+	gB, _ := NewGenerator([]byte("node-B"), s)
+	seen := map[id.ID]bool{}
+	for i := 0; i < 200; i++ {
+		a, _ := gA.Generate(s)
+		b, _ := gB.Generate(s)
+		if seen[a.HopID] || seen[b.HopID] || a.HopID == b.HopID {
+			t.Fatalf("cross-node hopid collision")
+		}
+		seen[a.HopID] = true
+		seen[b.HopID] = true
+	}
+}
+
+func TestGeneratorUnlinkableWithoutHkey(t *testing.T) {
+	// An observer knowing node_ID and t but not hkey cannot recompute the
+	// hopid: H(node_ID ‖ t) must differ from H(node_ID ‖ hkey ‖ t).
+	s := rng.New(3)
+	g, _ := NewGenerator([]byte("node-A"), s)
+	sec, _ := g.Generate(s)
+	guess := id.Hash([]byte("node-A"), []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	if sec.HopID == guess {
+		t.Fatalf("hopid recomputable without hkey")
+	}
+}
+
+func TestDeployFetchLifecycle(t *testing.T) {
+	ov, d := setup(t, 100, 3, 4)
+	s := rng.New(5)
+	g, _ := NewGenerator([]byte("init"), s)
+	sec, _ := g.Generate(s)
+
+	if d.Available(sec.HopID) {
+		t.Fatalf("anchor available before deployment")
+	}
+	if err := d.Deploy(sec.Anchor, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Available(sec.HopID) {
+		t.Fatalf("anchor unavailable after deployment")
+	}
+
+	// The hop node is the overlay owner and can fetch as holder.
+	hop, ok := d.HopNode(sec.HopID)
+	if !ok {
+		t.Fatalf("no hop node")
+	}
+	if hop.ID() != ov.OwnerOf(sec.HopID).ID() {
+		t.Fatalf("hop node is not the numerically closest node")
+	}
+	got, err := d.FetchAsHolder(hop.Ref().Addr, sec.HopID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != sec.Key {
+		t.Fatalf("fetched key mismatch")
+	}
+
+	// All k replica holders can fetch; a random outsider cannot.
+	for _, addr := range d.ReplicaAddrs(sec.HopID) {
+		if _, err := d.FetchAsHolder(addr, sec.HopID); err != nil {
+			t.Fatalf("replica holder %d denied: %v", addr, err)
+		}
+	}
+	outsider := findOutsider(t, ov, d, sec.HopID)
+	if _, err := d.FetchAsHolder(outsider, sec.HopID); err != ErrAccessDenied {
+		t.Fatalf("outsider fetch err = %v, want ErrAccessDenied", err)
+	}
+}
+
+func findOutsider(t *testing.T, ov *pastry.Overlay, d *Directory, hopID id.ID) simnet.Addr {
+	t.Helper()
+	replicas := map[simnet.Addr]bool{}
+	for _, a := range d.ReplicaAddrs(hopID) {
+		replicas[a] = true
+	}
+	for _, r := range ov.LiveRefs() {
+		if !replicas[r.Addr] {
+			return r.Addr
+		}
+	}
+	t.Fatalf("no outsider found")
+	return 0
+}
+
+func TestFetchAsOwner(t *testing.T) {
+	_, d := setup(t, 60, 3, 6)
+	s := rng.New(7)
+	g, _ := NewGenerator([]byte("init"), s)
+	sec, _ := g.Generate(s)
+	if err := d.Deploy(sec.Anchor, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.FetchAsOwner(sec.HopID, sec.PW); err != nil {
+		t.Fatalf("owner fetch failed: %v", err)
+	}
+	var wrong crypt.Password
+	if _, err := d.FetchAsOwner(sec.HopID, wrong); err != ErrBadPassword {
+		t.Fatalf("wrong pw err = %v", err)
+	}
+	if _, err := d.FetchAsOwner(id.HashString("nope"), sec.PW); err != ErrNotFound {
+		t.Fatalf("missing anchor err = %v", err)
+	}
+}
+
+func TestDeleteRequiresPassword(t *testing.T) {
+	_, d := setup(t, 60, 3, 8)
+	s := rng.New(9)
+	g, _ := NewGenerator([]byte("init"), s)
+	sec, _ := g.Generate(s)
+	if err := d.Deploy(sec.Anchor, 0); err != nil {
+		t.Fatal(err)
+	}
+	var wrong crypt.Password
+	if err := d.Delete(sec.HopID, wrong); err != ErrBadPassword {
+		t.Fatalf("delete with wrong pw err = %v", err)
+	}
+	if !d.Available(sec.HopID) {
+		t.Fatalf("failed delete removed the anchor")
+	}
+	if err := d.Delete(sec.HopID, sec.PW); err != nil {
+		t.Fatal(err)
+	}
+	if d.Available(sec.HopID) {
+		t.Fatalf("anchor still available after delete")
+	}
+	if err := d.Delete(sec.HopID, sec.PW); err != ErrNotFound {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestDeployPuzzleCharge(t *testing.T) {
+	_, d := setup(t, 40, 3, 10)
+	d.PuzzleDifficulty = 8
+	s := rng.New(11)
+	g, _ := NewGenerator([]byte("init"), s)
+	sec, _ := g.Generate(s)
+
+	if err := d.Deploy(sec.Anchor, 999999); err == nil {
+		t.Fatalf("unpaid deployment accepted")
+	}
+	if d.RejectedCount() != 1 {
+		t.Fatalf("rejected count = %d", d.RejectedCount())
+	}
+	nonce := d.Puzzle(sec.HopID).Mint()
+	if err := d.Deploy(sec.Anchor, nonce); err != nil {
+		t.Fatalf("paid deployment rejected: %v", err)
+	}
+	if d.DeployedCount() != 1 {
+		t.Fatalf("deployed count = %d", d.DeployedCount())
+	}
+}
+
+func TestHopNodeFailsOverToCandidate(t *testing.T) {
+	// The heart of TAP: kill the hop node and the anchor must resurface on
+	// a candidate, with the same key.
+	ov, d := setup(t, 120, 3, 12)
+	s := rng.New(13)
+	g, _ := NewGenerator([]byte("init"), s)
+	sec, _ := g.Generate(s)
+	if err := d.Deploy(sec.Anchor, 0); err != nil {
+		t.Fatal(err)
+	}
+	hop1, _ := d.HopNode(sec.HopID)
+	if err := ov.Fail(hop1.Ref().Addr); err != nil {
+		t.Fatal(err)
+	}
+	hop2, ok := d.HopNode(sec.HopID)
+	if !ok {
+		t.Fatalf("anchor lost after a single hop-node failure")
+	}
+	if hop2.ID() == hop1.ID() {
+		t.Fatalf("hop node did not change")
+	}
+	got, err := d.FetchAsHolder(hop2.Ref().Addr, sec.HopID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != sec.Key {
+		t.Fatalf("successor hop node has wrong key")
+	}
+}
+
+func TestAnchorLostWhenAllReplicasFail(t *testing.T) {
+	ov, d := setup(t, 100, 3, 14)
+	s := rng.New(15)
+	g, _ := NewGenerator([]byte("init"), s)
+	sec, _ := g.Generate(s)
+	if err := d.Deploy(sec.Anchor, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Manager().BeginBatch()
+	for _, addr := range d.ReplicaAddrs(sec.HopID) {
+		if err := ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Manager().EndBatch()
+	if d.Available(sec.HopID) {
+		t.Fatalf("anchor survived simultaneous loss of all replicas")
+	}
+	if _, ok := d.HopNode(sec.HopID); ok {
+		t.Fatalf("HopNode returned a node for a lost anchor")
+	}
+}
+
+func genPool(t *testing.T, n int, seed uint64) []Secret {
+	t.Helper()
+	s := rng.New(seed)
+	g, _ := NewGenerator([]byte("init"), s)
+	pool := make([]Secret, n)
+	for i := range pool {
+		sec, err := g.Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = sec
+	}
+	return pool
+}
+
+func TestChooseScatteredDiversity(t *testing.T) {
+	pool := genPool(t, 64, 16)
+	s := rng.New(17)
+	chosen, err := ChooseScattered(pool, 5, 4, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 5 {
+		t.Fatalf("chose %d anchors", len(chosen))
+	}
+	// With 64 anchors across 16 digit buckets, 5 distinct leading digits
+	// should essentially always be possible.
+	if div := PrefixDiversity(chosen, 4); div != 5 {
+		t.Fatalf("prefix diversity %d, want 5", div)
+	}
+	// No duplicate anchors.
+	seen := map[id.ID]bool{}
+	for _, c := range chosen {
+		if seen[c.HopID] {
+			t.Fatalf("duplicate anchor chosen")
+		}
+		seen[c.HopID] = true
+	}
+}
+
+func TestChooseScatteredSmallPoolFallsBack(t *testing.T) {
+	// A pool concentrated in one digit can still form a tunnel, just
+	// without diversity.
+	s := rng.New(18)
+	pool := genPool(t, 200, 19)
+	var same []Secret
+	want := pool[0].HopID.Digit(0, 4)
+	for _, p := range pool {
+		if p.HopID.Digit(0, 4) == want {
+			same = append(same, p)
+		}
+	}
+	if len(same) < 3 {
+		t.Skip("pool did not concentrate; statistically near-impossible")
+	}
+	chosen, err := ChooseScattered(same[:3], 3, 4, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 3 {
+		t.Fatalf("chose %d", len(chosen))
+	}
+}
+
+func TestChooseScatteredErrors(t *testing.T) {
+	pool := genPool(t, 3, 20)
+	s := rng.New(21)
+	if _, err := ChooseScattered(pool, 5, 4, s); err == nil {
+		t.Fatalf("undersized pool accepted")
+	}
+	if _, err := ChooseScattered(pool, 0, 4, s); err == nil {
+		t.Fatalf("zero length accepted")
+	}
+}
+
+func TestChooseScatteredBeatsRandomOnAverage(t *testing.T) {
+	// Property behind the §3.5 rule: scattered choice yields at least the
+	// prefix diversity of uniform random choice.
+	pool := genPool(t, 32, 22)
+	s := rng.New(23)
+	const trials = 200
+	scatterTotal, randomTotal := 0, 0
+	for i := 0; i < trials; i++ {
+		chosen, err := ChooseScattered(pool, 5, 4, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scatterTotal += PrefixDiversity(chosen, 4)
+		idx := s.PermFirstK(len(pool), 5)
+		rnd := make([]Secret, 5)
+		for j, ix := range idx {
+			rnd[j] = pool[ix]
+		}
+		randomTotal += PrefixDiversity(rnd, 4)
+	}
+	if scatterTotal < randomTotal {
+		t.Fatalf("scattered diversity %d below random %d", scatterTotal, randomTotal)
+	}
+}

@@ -1,0 +1,204 @@
+// Package timing implements the end-to-end timing-correlation attack the
+// paper's §6 discusses as its case 2: "colluding entry and exit mixes can
+// use timing analysis to disclose both source and destination", tempered
+// by "the network connection heterogeneity of P2P networks complicates
+// the task of timing analysis attacks."
+//
+// The adversary wiretaps the nodes it controls, recording three kinds of
+// node-local observations:
+//
+//   - envelope receptions: a controlled node serving a tunnel hop saw a
+//     layered message arrive at time t from predecessor X;
+//   - envelope relays: a controlled node (hop or plain router) passed a
+//     tunnel envelope along, and knows where it came from;
+//   - exits: a controlled tail hop decrypted {D, m} at time t — the tail
+//     always knows it is the tail.
+//
+// The attack matches each observed exit against entry candidates in the
+// preceding time window, *chain-tracing* each candidate backward through
+// the collusion's own relay records: if the predecessor is controlled and
+// relayed the message, step to where it got it from, and so on until the
+// chain leaves the collusion. The node the chain ends at is the claimed
+// source. A match is confident only when all candidates in the window
+// agree on one source; concurrent tunnel traffic creates disagreement,
+// which is exactly why timing attacks weaken as the system carries more
+// flows.
+//
+// Observations carry the simulator's flow id for ground-truth scoring
+// ONLY: the correlator never reads it when matching — it is consulted
+// exclusively to judge whether a produced match was correct.
+package timing
+
+import (
+	"sort"
+	"time"
+
+	"tap/internal/id"
+	"tap/internal/simnet"
+)
+
+// Obs is one node-local observation.
+type Obs struct {
+	At   simnet.Addr
+	Now  simnet.Time
+	From simnet.Addr // envelope receptions: the network-level predecessor
+	Dest id.ID       // exits: the revealed destination
+
+	// flow is ground truth for evaluation; matching must not read it.
+	flow uint64
+}
+
+// relayRec is a controlled node's memory of relaying one envelope.
+type relayRec struct {
+	now  simnet.Time
+	from simnet.Addr
+}
+
+// Observer is the adversary's wiretap, installed as a core.NetTap. Only
+// events at controlled nodes are recorded.
+type Observer struct {
+	IsMalicious func(simnet.Addr) bool
+
+	receptions []Obs
+	exits      []Obs
+	relays     map[simnet.Addr][]relayRec
+}
+
+// NewObserver creates a wiretap over the nodes selected by isMalicious.
+func NewObserver(isMalicious func(simnet.Addr) bool) *Observer {
+	return &Observer{
+		IsMalicious: isMalicious,
+		relays:      make(map[simnet.Addr][]relayRec),
+	}
+}
+
+// EnvelopeReceived implements core.NetTap.
+func (o *Observer) EnvelopeReceived(at simnet.Addr, now simnet.Time, from simnet.Addr, flow uint64) {
+	if !o.IsMalicious(at) {
+		return
+	}
+	o.receptions = append(o.receptions, Obs{At: at, Now: now, From: from, flow: flow})
+}
+
+// EnvelopeForwarded implements core.NetTap.
+func (o *Observer) EnvelopeForwarded(at simnet.Addr, now simnet.Time, from simnet.Addr) {
+	if !o.IsMalicious(at) {
+		return
+	}
+	o.relays[at] = append(o.relays[at], relayRec{now: now, from: from})
+}
+
+// ExitObserved implements core.NetTap.
+func (o *Observer) ExitObserved(at simnet.Addr, now simnet.Time, flow uint64, dest id.ID) {
+	if !o.IsMalicious(at) {
+		return
+	}
+	o.exits = append(o.exits, Obs{At: at, Now: now, Dest: dest, flow: flow})
+}
+
+// Receptions and Exits return observation counts.
+func (o *Observer) Receptions() int { return len(o.receptions) }
+func (o *Observer) Exits() int      { return len(o.exits) }
+
+// traceBack follows the collusion's own relay records backward from
+// (node, before): while the node is controlled and relayed an envelope
+// just prior, step to that envelope's origin. It returns the first node
+// the chain cannot explain — the claimed source. maxStep bounds the gap
+// accepted between chain links.
+func (o *Observer) traceBack(node simnet.Addr, before simnet.Time, maxStep time.Duration) simnet.Addr {
+	const maxChain = 128 // a routing loop would otherwise spin forever
+	for i := 0; i < maxChain; i++ {
+		if !o.IsMalicious(node) {
+			return node
+		}
+		recs := o.relays[node]
+		// Latest relay strictly before `before` and within maxStep.
+		j := sort.Search(len(recs), func(k int) bool { return recs[k].now >= before })
+		if j == 0 {
+			return node
+		}
+		rec := recs[j-1]
+		if before-rec.now > simnet.Time(maxStep) {
+			return node
+		}
+		node, before = rec.from, rec.now
+	}
+	return node
+}
+
+// Match is one correlation the adversary commits to: "the flow exiting
+// here entered the network at `Source`."
+type Match struct {
+	Exit      Obs
+	Entry     Obs
+	Source    simnet.Addr
+	Ambiguous bool // candidates disagreed on the source
+}
+
+// Correlate runs the window attack for each observed exit.
+func (o *Observer) Correlate(window time.Duration) []Match {
+	recs := append([]Obs(nil), o.receptions...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Now < recs[j].Now })
+	var out []Match
+	for _, ex := range o.exits {
+		lo := ex.Now - simnet.Time(window)
+		i := sort.Search(len(recs), func(k int) bool { return recs[k].Now > lo })
+		type cand struct {
+			obs    Obs
+			source simnet.Addr
+		}
+		var cands []cand
+		for ; i < len(recs) && recs[i].Now <= ex.Now; i++ {
+			src := o.traceBack(recs[i].From, recs[i].Now, window)
+			cands = append(cands, cand{obs: recs[i], source: src})
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sources := map[simnet.Addr]struct{}{}
+		for _, c := range cands {
+			sources[c.source] = struct{}{}
+		}
+		out = append(out, Match{
+			Exit:      ex,
+			Entry:     cands[0].obs,
+			Source:    cands[0].source,
+			Ambiguous: len(sources) > 1,
+		})
+	}
+	return out
+}
+
+// Score evaluates matches against ground truth.
+type Score struct {
+	Exits     int // exits the adversary observed (attack opportunities)
+	Committed int // matches produced
+	Confident int // matches not flagged ambiguous
+	Correct   int // confident matches naming the true initiator of the exit's flow
+	FalseHits int // confident matches that were wrong
+
+	// GuessCorrect counts matches (ambiguous or not) whose earliest-
+	// candidate attribution named the true initiator: the adversary's
+	// best-effort success rate when it commits despite ambiguity.
+	GuessCorrect int
+}
+
+// Evaluate scores matches; trueSource maps flow id → initiator address.
+func Evaluate(obs *Observer, matches []Match, trueSource map[uint64]simnet.Addr) Score {
+	s := Score{Exits: obs.Exits(), Committed: len(matches)}
+	for _, m := range matches {
+		if trueSource[m.Exit.flow] == m.Source {
+			s.GuessCorrect++
+		}
+		if m.Ambiguous {
+			continue
+		}
+		s.Confident++
+		if trueSource[m.Exit.flow] == m.Source {
+			s.Correct++
+		} else {
+			s.FalseHits++
+		}
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample collects raw observations for quantile queries. Unlike Accum it
+// stores every value; use it where distributions matter (latency tails)
+// and Accum where only moments do. Memory is one float64 per observation.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.values = append(s.values, x)
+	s.sorted = false
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 with no observations).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) using linear
+// interpolation between order statistics. NaN with no observations;
+// panics on q outside [0,1] (a caller bug).
+func (s *Sample) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("trace: quantile %f outside [0,1]", q))
+	}
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	if len(s.values) == 1 {
+		return s.values[0]
+	}
+	pos := q * float64(len(s.values)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := pos - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Median is Quantile(0.5).
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// P95 is Quantile(0.95), the tail figure latency reports quote.
+func (s *Sample) P95() float64 { return s.Quantile(0.95) }
+
+// Min and Max return the extremes (NaN when empty).
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// Histogram buckets the sample into `bins` equal-width bins over
+// [min, max] and returns the counts; for quick text rendering of a
+// distribution's shape.
+func (s *Sample) Histogram(bins int) []int {
+	if bins <= 0 || len(s.values) == 0 {
+		return nil
+	}
+	lo, hi := s.Min(), s.Max()
+	counts := make([]int, bins)
+	if hi == lo {
+		counts[0] = len(s.values)
+		return counts
+	}
+	w := (hi - lo) / float64(bins)
+	for _, v := range s.values {
+		i := int((v - lo) / w)
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	return counts
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("median = %f", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("min = %f", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("max = %f", got)
+	}
+	if got := s.P95(); math.Abs(got-95.05) > 1e-9 {
+		t.Fatalf("p95 = %f", got)
+	}
+	if got := s.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("mean = %f", got)
+	}
+}
+
+func TestSampleInterleavedAddAndQuery(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	s.Add(1)
+	if s.Median() != 2 {
+		t.Fatalf("median of {1,3} = %f", s.Median())
+	}
+	s.Add(100) // must re-sort transparently
+	if s.Median() != 3 {
+		t.Fatalf("median of {1,3,100} = %f", s.Median())
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Median()) {
+		t.Fatalf("empty median not NaN")
+	}
+	if s.Mean() != 0 || s.N() != 0 {
+		t.Fatalf("empty sample stats wrong")
+	}
+	s.Add(7)
+	if s.Median() != 7 || s.Quantile(0.99) != 7 {
+		t.Fatalf("single-value quantiles wrong")
+	}
+}
+
+func TestSampleQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	var s Sample
+	s.Add(1)
+	s.Quantile(1.5)
+}
+
+func TestSampleQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var s Sample
+	for i := 0; i < 500; i++ {
+		s.Add(rng.NormFloat64())
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone at %f", q)
+		}
+		prev = v
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var s Sample
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i))
+	}
+	h := s.Histogram(5)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram lost observations: %v", h)
+	}
+	if len(h) != 5 {
+		t.Fatalf("bins = %d", len(h))
+	}
+	// Uniform data: every bin gets 2.
+	for i, c := range h {
+		if c != 2 {
+			t.Fatalf("bin %d = %d, want 2", i, c)
+		}
+	}
+	// Degenerate cases.
+	if s.Histogram(0) != nil {
+		t.Fatalf("zero bins should be nil")
+	}
+	var constant Sample
+	constant.Add(5)
+	constant.Add(5)
+	h2 := constant.Histogram(3)
+	if h2[0] != 2 || h2[1] != 0 {
+		t.Fatalf("constant histogram %v", h2)
+	}
+}

@@ -1,0 +1,215 @@
+// Package trace provides the measurement plumbing shared by the
+// experiment harness and the command-line tools: mean/variance
+// accumulators, labeled series, and fixed-width table rendering that
+// mirrors the way the paper reports its figures (one row per x value, one
+// column per series).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accum accumulates scalar samples with Welford's algorithm, so means and
+// variances are numerically stable over millions of samples.
+type Accum struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (a *Accum) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the sample count.
+func (a *Accum) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Accum) Mean() float64 { return a.mean }
+
+// Min and Max return the extremes (0 with no samples).
+func (a *Accum) Min() float64 { return a.min }
+func (a *Accum) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance.
+func (a *Accum) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accum) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accum) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Table is a figure-shaped result: a labeled x column plus one column per
+// series, each cell an Accum across trials.
+type Table struct {
+	Title   string
+	XLabel  string
+	Series  []string
+	xs      []float64
+	rows    map[float64]map[string]*Accum
+	sortRow bool
+}
+
+// NewTable creates a table for the given series names.
+func NewTable(title, xLabel string, series ...string) *Table {
+	return &Table{
+		Title:   title,
+		XLabel:  xLabel,
+		Series:  series,
+		rows:    make(map[float64]map[string]*Accum),
+		sortRow: true,
+	}
+}
+
+// Add records one trial sample for (x, series).
+func (t *Table) Add(x float64, series string, value float64) {
+	row, ok := t.rows[x]
+	if !ok {
+		row = make(map[string]*Accum, len(t.Series))
+		t.rows[x] = row
+		t.xs = append(t.xs, x)
+	}
+	acc, ok := row[series]
+	if !ok {
+		acc = &Accum{}
+		row[series] = acc
+	}
+	acc.Add(value)
+}
+
+// Get returns the accumulator at (x, series), or nil.
+func (t *Table) Get(x float64, series string) *Accum {
+	row, ok := t.rows[x]
+	if !ok {
+		return nil
+	}
+	return row[series]
+}
+
+// Xs returns the x values in ascending order.
+func (t *Table) Xs() []float64 {
+	out := append([]float64(nil), t.xs...)
+	if t.sortRow {
+		sort.Float64s(out)
+	}
+	return out
+}
+
+// Mean returns the mean at (x, series), NaN when absent.
+func (t *Table) Mean(x float64, series string) float64 {
+	a := t.Get(x, series)
+	if a == nil || a.N() == 0 {
+		return math.NaN()
+	}
+	return a.Mean()
+}
+
+// Render writes the table in aligned fixed-width text with mean±stderr
+// cells.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	cells := make([][]string, 0, len(t.xs)+1)
+	head := append([]string{t.XLabel}, t.Series...)
+	cells = append(cells, head)
+	for _, x := range t.Xs() {
+		row := []string{trimFloat(x)}
+		for _, s := range t.Series {
+			a := t.Get(x, s)
+			if a == nil || a.N() == 0 {
+				row = append(row, "-")
+				continue
+			}
+			if a.N() == 1 {
+				row = append(row, fmt.Sprintf("%.4f", a.Mean()))
+			} else {
+				row = append(row, fmt.Sprintf("%.4f±%.4f", a.Mean(), a.StdErr()))
+			}
+		}
+		cells = append(cells, row)
+	}
+	writeAligned(w, cells)
+}
+
+// RenderCSV writes the table as CSV of means, one column per series.
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "%s,%s\n", t.XLabel, strings.Join(t.Series, ","))
+	for _, x := range t.Xs() {
+		parts := []string{trimFloat(x)}
+		for _, s := range t.Series {
+			m := t.Mean(x, s)
+			if math.IsNaN(m) {
+				parts = append(parts, "")
+			} else {
+				parts = append(parts, fmt.Sprintf("%.6f", m))
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+}
+
+// trimFloat renders 2 as "2" and 0.05 as "0.05".
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", x), "0"), ".")
+}
+
+// writeAligned pads each column to its widest cell.
+func writeAligned(w io.Writer, cells [][]string) {
+	if len(cells) == 0 {
+		return
+	}
+	widths := make([]int, len(cells[0]))
+	for _, row := range cells {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range cells {
+		var b strings.Builder
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAccumBasics(t *testing.T) {
+	var a Accum
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		a.Add(x)
+	}
+	if a.N() != 5 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Mean() != 3 {
+		t.Fatalf("mean = %f", a.Mean())
+	}
+	if a.Min() != 1 || a.Max() != 5 {
+		t.Fatalf("min/max = %f/%f", a.Min(), a.Max())
+	}
+	if math.Abs(a.Variance()-2.5) > 1e-12 {
+		t.Fatalf("variance = %f, want 2.5", a.Variance())
+	}
+	wantSE := math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(a.StdErr()-wantSE) > 1e-12 {
+		t.Fatalf("stderr = %f, want %f", a.StdErr(), wantSE)
+	}
+}
+
+func TestAccumEmptyAndSingle(t *testing.T) {
+	var a Accum
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatalf("empty accum nonzero")
+	}
+	a.Add(7)
+	if a.Mean() != 7 || a.Variance() != 0 {
+		t.Fatalf("single-sample accum wrong")
+	}
+}
+
+func TestAccumNumericalStability(t *testing.T) {
+	// Large offset + tiny variance is where naive sum-of-squares dies.
+	var a Accum
+	base := 1e9
+	for i := 0; i < 1000; i++ {
+		a.Add(base + float64(i%2))
+	}
+	if math.Abs(a.Mean()-(base+0.5)) > 1e-3 {
+		t.Fatalf("mean drifted: %f", a.Mean())
+	}
+	if math.Abs(a.Variance()-0.2502502502) > 1e-3 {
+		t.Fatalf("variance = %f, want ~0.25", a.Variance())
+	}
+}
+
+func TestTableAddGetMean(t *testing.T) {
+	tb := NewTable("test", "p", "a", "b")
+	tb.Add(0.1, "a", 1)
+	tb.Add(0.1, "a", 3)
+	tb.Add(0.2, "b", 5)
+	if got := tb.Mean(0.1, "a"); got != 2 {
+		t.Fatalf("mean = %f", got)
+	}
+	if !math.IsNaN(tb.Mean(0.1, "b")) {
+		t.Fatalf("absent cell should be NaN")
+	}
+	xs := tb.Xs()
+	if len(xs) != 2 || xs[0] != 0.1 || xs[1] != 0.2 {
+		t.Fatalf("xs = %v", xs)
+	}
+}
+
+func TestTableXsSorted(t *testing.T) {
+	tb := NewTable("t", "x", "s")
+	for _, x := range []float64{0.3, 0.1, 0.2} {
+		tb.Add(x, "s", 1)
+	}
+	xs := tb.Xs()
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			t.Fatalf("xs unsorted: %v", xs)
+		}
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	tb := NewTable("Fig X: demo", "p", "current", "TAP")
+	tb.Add(0.05, "current", 0.2)
+	tb.Add(0.05, "current", 0.3)
+	tb.Add(0.05, "TAP", 0.01)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Fig X: demo", "p", "current", "TAP", "0.05", "0.2500", "0.0100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("t", "x", "a", "b")
+	tb.Add(1, "a", 0.5)
+	tb.Add(1, "b", 0.25)
+	var buf bytes.Buffer
+	tb.RenderCSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "x,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,0.500000,0.250000" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		2:      "2",
+		0.05:   "0.05",
+		0.1:    "0.1",
+		10000:  "10000",
+		0.3333: "0.3333",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
