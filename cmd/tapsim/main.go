@@ -207,6 +207,14 @@ func main() {
 			})
 		})
 	}
+	if strings.EqualFold(*exp, "ext-reliability") {
+		matched = true
+		run("ext-reliability", func() (*trace.Table, error) {
+			return experiments.ExtReliability(experiments.ExtReliabilityParams{
+				N: *n, Trials: *trials, Seed: *seed,
+			})
+		})
+	}
 	if strings.EqualFold(*exp, "ext") {
 		matched = true
 		run("ext-secroute", func() (*trace.Table, error) {
@@ -230,9 +238,12 @@ func main() {
 		run("ext-timing", func() (*trace.Table, error) {
 			return experiments.ExtTiming(experiments.ExtTimingParams{Trials: *trials, Seed: *seed})
 		})
+		run("ext-reliability", func() (*trace.Table, error) {
+			return experiments.ExtReliability(experiments.ExtReliabilityParams{Trials: *trials, Seed: *seed})
+		})
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "tapsim: unknown experiment %q (want fig2|fig3|fig4a|fig4b|fig5|fig6|all|ext|ext-secroute|ext-detect|ext-cover)\n", *exp)
+		fmt.Fprintf(os.Stderr, "tapsim: unknown experiment %q (want fig2|fig3|fig4a|fig4b|fig5|fig6|all|ext|ext-secroute|ext-detect|ext-cover|ext-anon|ext-session|ext-inflight|ext-timing|ext-reliability)\n", *exp)
 		os.Exit(2)
 	}
 }

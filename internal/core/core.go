@@ -143,6 +143,16 @@ func (c *HintCache) Refresh(svc *Service, t *Tunnel) error {
 	return nil
 }
 
+// Invalidate drops the cached address for hopID. Initiators call it when
+// a direct send misses (the hinted node is unreachable or no longer holds
+// the hop anchor), so subsequent messages fall back to DHT routing until
+// the next Refresh re-resolves the hop node.
+func (c *HintCache) Invalidate(hopID id.ID) {
+	if c != nil && c.m != nil {
+		delete(c.m, hopID)
+	}
+}
+
 // Get returns the cached address for hopID, or NoAddr.
 func (c *HintCache) Get(hopID id.ID) simnet.Addr {
 	if c == nil || c.m == nil {

@@ -5,6 +5,7 @@ import (
 
 	"tap/internal/id"
 	"tap/internal/pastry"
+	"tap/internal/rng"
 	"tap/internal/simnet"
 )
 
@@ -19,12 +20,34 @@ type NetEngine struct {
 
 	nextFlow uint64
 	done     map[uint64]func(Outcome)
+	// pending tracks flows whose outcome has not fired yet, so a
+	// duplicate or late packet of a finished flow can never re-count it.
+	pending map[uint64]struct{}
+
+	// Reliability state (reliable.go). rel == nil means the protocol is
+	// off and flows behave as fire-and-forget.
+	rel    *Reliability
+	flows  map[uint64]*flowState
+	acked  map[uint64]ackRecord
+	jitter *rng.Stream
+	// staleHints records (hop target, address) pairs observed to be dead
+	// ends — a direct send that missed, or a hinted address a sender
+	// could not reach — so later dispatches fall back to DHT routing
+	// instead of repeating the same miss.
+	staleHints map[hintKey]struct{}
 
 	// Stats across all flows.
 	NetHops   uint64
 	HintHits  uint64
 	HintMiss  uint64
 	FailFlows uint64
+	// Reliability stats.
+	Retransmits   uint64 // extra attempts beyond each flow's first
+	AcksSent      uint64 // end-to-end ACKs transmitted by terminals
+	AcksRecv      uint64 // ACKs consumed by initiators (first per flow)
+	DupDeliveries uint64 // duplicate data arrivals at terminals
+	PacketsLost   uint64 // reliable-flow packets that died mid-flight
+	StaleHints    uint64 // distinct hints invalidated
 
 	// Tap, when non-nil, observes the protocol events a node operator
 	// can see at its own node: tunnel envelopes received, and exits
@@ -57,6 +80,11 @@ type Outcome struct {
 	At        simnet.Time
 	NetHops   int
 	FailedAt  string // empty on success
+	// Attempts is the number of end-to-end send attempts (1 without the
+	// reliability protocol); Backoff is the time spent waiting in
+	// retransmit timers — the gap between the first and last attempt.
+	Attempts int
+	Backoff  simnet.Time
 }
 
 // packet kinds.
@@ -64,6 +92,7 @@ const (
 	kindPayload byte = iota + 1 // plain payload riding to Target's owner
 	kindForward                 // forward-tunnel envelope
 	kindReply                   // reply-tunnel envelope
+	kindAck                     // end-to-end delivery ACK (reliability protocol)
 )
 
 // packet is the single wire message type: content plus DHT routing state.
@@ -80,6 +109,13 @@ type packet struct {
 	payloadSize int            // kindPayload
 	env         *Envelope      // kindForward
 	renv        *ReplyEnvelope // kindReply
+
+	// Reliability fields. ackTo is the initiator-side address a terminal
+	// ACKs to (zero-valued on fire-and-forget flows, where it is never
+	// read); dataHops is, on a kindAck, the hop count of the data packet
+	// being acknowledged.
+	ackTo    simnet.Addr
+	dataHops int
 }
 
 // SizeBytes implements simnet.Message.
@@ -90,6 +126,8 @@ func (p *packet) SizeBytes() int {
 		return header + p.env.SizeBytes()
 	case kindReply:
 		return header + p.renv.SizeBytes()
+	case kindAck:
+		return header + 8
 	default:
 		return header + p.payloadSize
 	}
@@ -98,7 +136,15 @@ func (p *packet) SizeBytes() int {
 // NewNetEngine attaches handlers for every currently live node and for
 // future joiners.
 func NewNetEngine(svc *Service, net *simnet.Network) *NetEngine {
-	e := &NetEngine{svc: svc, net: net, done: make(map[uint64]func(Outcome))}
+	e := &NetEngine{
+		svc: svc, net: net,
+		done:       make(map[uint64]func(Outcome)),
+		pending:    make(map[uint64]struct{}),
+		flows:      make(map[uint64]*flowState),
+		acked:      make(map[uint64]ackRecord),
+		staleHints: make(map[hintKey]struct{}),
+		jitter:     svc.Stream.Split("netengine-jitter"),
+	}
 	for _, r := range svc.OV.LiveRefs() {
 		e.attach(r.Addr)
 	}
@@ -132,14 +178,42 @@ func (e *NetEngine) attach(addr simnet.Addr) {
 // newFlow registers a completion callback and returns the flow id.
 func (e *NetEngine) newFlow(done func(Outcome)) uint64 {
 	e.nextFlow++
+	e.pending[e.nextFlow] = struct{}{}
 	if done != nil {
 		e.done[e.nextFlow] = done
 	}
 	return e.nextFlow
 }
 
-// finish fires and clears the flow callback.
-func (e *NetEngine) finish(p *packet, delivered bool, why string) {
+// finish concludes p at this node: the terminal was reached (delivered) or
+// the packet died here. On a reliable flow, delivery triggers an
+// end-to-end ACK and a death is left to the initiator's retransmit timer;
+// otherwise the flow outcome fires once — duplicate or late packets of an
+// already-finished flow are ignored rather than re-counted.
+func (e *NetEngine) finish(self simnet.Addr, p *packet, delivered bool, why string) {
+	if st, ok := e.flows[p.flow]; ok {
+		// The flow is still pending under the reliability protocol.
+		if delivered {
+			e.ackDelivery(self, p)
+		} else {
+			st.lastErr = why
+			e.PacketsLost++
+		}
+		return
+	}
+	if delivered {
+		if rec, ok := e.acked[p.flow]; ok {
+			// A duplicate of an already-ACKed delivery: the earlier ACK
+			// may have been lost, so re-ACK, but never re-deliver.
+			e.DupDeliveries++
+			e.sendAck(self, p.flow, rec)
+			return
+		}
+	}
+	if _, open := e.pending[p.flow]; !open {
+		return // duplicate or late packet of a finished flow
+	}
+	delete(e.pending, p.flow)
 	if !delivered {
 		e.FailFlows++
 	}
@@ -154,6 +228,7 @@ func (e *NetEngine) finish(p *packet, delivered bool, why string) {
 		At:        e.net.Now(),
 		NetHops:   p.hops,
 		FailedAt:  why,
+		Attempts:  1,
 	})
 }
 
@@ -176,7 +251,7 @@ func (e *NetEngine) send(from, to simnet.Addr, p *packet) {
 func (e *NetEngine) forwardToward(self simnet.Addr, p *packet) {
 	node := e.svc.OV.Node(self)
 	if node == nil || !node.Alive() {
-		e.finish(p, false, fmt.Sprintf("node %d died holding packet", self))
+		e.finish(self, p, false, fmt.Sprintf("node %d died holding packet", self))
 		return
 	}
 	next, deliverHere := node.NextHop(p.target)
@@ -189,6 +264,10 @@ func (e *NetEngine) forwardToward(self simnet.Addr, p *packet) {
 
 // deliver is the per-node network handler.
 func (e *NetEngine) deliver(self simnet.Addr, p *packet) {
+	if p.kind == kindAck {
+		e.handleAck(p)
+		return
+	}
 	if p.direct {
 		// A hint shortcut landed here. If this node can act on the packet
 		// (it holds the hop anchor), process it; otherwise the hint was
@@ -209,6 +288,9 @@ func (e *NetEngine) deliver(self simnet.Addr, p *packet) {
 			}
 		}
 		e.HintMiss++
+		// The hinted node does not serve this hop any more: remember the
+		// dead end so retransmissions and later flows go via the DHT.
+		e.markStaleHint(p.target, self)
 		e.forwardToward(self, p)
 		return
 	}
@@ -219,24 +301,24 @@ func (e *NetEngine) deliver(self simnet.Addr, p *packet) {
 func (e *NetEngine) process(self simnet.Addr, p *packet) {
 	switch p.kind {
 	case kindPayload:
-		e.finish(p, true, "")
+		e.finish(self, p, true, "")
 
 	case kindForward:
 		if e.Tap != nil && e.svc.Dir.Manager().HolderHas(self, p.env.HopID) {
 			e.Tap.EnvelopeReceived(self, e.net.Now(), p.lastFrom, p.flow)
 		}
 		if !e.svc.hopServes(self, p.env.HopID) {
-			e.finish(p, false, fmt.Sprintf("hop %s dropped at node %d", p.env.HopID.Short(), self))
+			e.finish(self, p, false, fmt.Sprintf("hop %s dropped at node %d", p.env.HopID.Short(), self))
 			return
 		}
 		anchor, err := e.svc.Dir.FetchAsHolder(self, p.env.HopID)
 		if err != nil {
-			e.finish(p, false, fmt.Sprintf("hop %s lost", p.env.HopID.Short()))
+			e.finish(self, p, false, fmt.Sprintf("hop %s lost", p.env.HopID.Short()))
 			return
 		}
 		layer, err := OpenForwardLayer(anchor, p.env.Sealed)
 		if err != nil {
-			e.finish(p, false, fmt.Sprintf("hop %s: %v", p.env.HopID.Short(), err))
+			e.finish(self, p, false, fmt.Sprintf("hop %s: %v", p.env.HopID.Short(), err))
 			return
 		}
 		if layer.IsExit {
@@ -247,6 +329,7 @@ func (e *NetEngine) process(self simnet.Addr, p *packet) {
 			out := &packet{
 				kind: kindPayload, flow: p.flow, target: layer.Dest,
 				hops: p.hops, payloadSize: len(layer.Payload),
+				ackTo: p.ackTo,
 			}
 			e.forwardToward(self, out)
 			return
@@ -261,6 +344,7 @@ func (e *NetEngine) process(self simnet.Addr, p *packet) {
 			// The hop's own relay origin is whoever handed it the
 			// incoming envelope.
 			lastFrom: p.lastFrom,
+			ackTo:    p.ackTo,
 		}
 		e.dispatch(self, next, layer.NextHint)
 
@@ -269,36 +353,42 @@ func (e *NetEngine) process(self simnet.Addr, p *packet) {
 		if err != nil {
 			// No anchor here: final delivery point (the initiator, when
 			// the tunnel held).
-			e.finish(p, true, "")
+			e.finish(self, p, true, "")
 			return
 		}
 		if !e.svc.hopServes(self, p.renv.Target) {
-			e.finish(p, false, fmt.Sprintf("reply hop %s dropped at node %d", p.renv.Target.Short(), self))
+			e.finish(self, p, false, fmt.Sprintf("reply hop %s dropped at node %d", p.renv.Target.Short(), self))
 			return
 		}
 		next, hint, rest, err := OpenReplyLayer(anchor, p.renv.Onion)
 		if err != nil {
-			e.finish(p, false, fmt.Sprintf("reply hop %s: %v", p.renv.Target.Short(), err))
+			e.finish(self, p, false, fmt.Sprintf("reply hop %s: %v", p.renv.Target.Short(), err))
 			return
 		}
 		renv := &ReplyEnvelope{Target: next, Hint: hint, Onion: rest, Data: p.renv.Data}
 		renv.PadToMatch(p.renv.SizeBytes())
 		out := &packet{
 			kind: kindReply, flow: p.flow, target: next, hops: p.hops,
-			renv: renv,
+			renv:  renv,
+			ackTo: p.ackTo,
 		}
 		e.dispatch(self, out, hint)
 	}
 }
 
 // dispatch sends a packet toward its target, trying the address hint
-// first. A hint to a detached address is detected by the sender (the
-// connection fails) and falls back to DHT routing immediately.
+// first. A hint to a detached or crashed address is detected by the
+// sender (the connection attempt fails), invalidated, and the packet
+// falls back to DHT routing immediately; a hint already known stale is
+// skipped without a connection attempt.
 func (e *NetEngine) dispatch(self simnet.Addr, p *packet, hint simnet.Addr) {
-	if hint != simnet.NoAddr && hint != self && e.net.Attached(hint) {
-		p.direct = true
-		e.send(self, hint, p)
-		return
+	if hint != simnet.NoAddr && hint != self && !e.hintStale(p.target, hint) {
+		if e.net.Reachable(hint) {
+			p.direct = true
+			e.send(self, hint, p)
+			return
+		}
+		e.markStaleHint(p.target, hint)
 	}
 	if hint != simnet.NoAddr {
 		e.HintMiss++
@@ -310,23 +400,43 @@ func (e *NetEngine) dispatch(self simnet.Addr, p *packet, hint simnet.Addr) {
 // P2P infrastructure from `from` to the owner of dest. The baseline curve
 // of Figure 6.
 func (e *NetEngine) SendOvert(from simnet.Addr, dest id.ID, size int, done func(Outcome)) uint64 {
-	p := &packet{kind: kindPayload, flow: e.newFlow(done), target: dest, payloadSize: size}
-	e.forwardToward(from, p)
-	return p.flow
+	flow := e.newFlow(done)
+	if e.rel != nil {
+		e.startReliable(flow, from, size, func() (*packet, simnet.Addr) {
+			return &packet{kind: kindPayload, flow: flow, target: dest, payloadSize: size, ackTo: from}, simnet.NoAddr
+		})
+		return flow
+	}
+	e.forwardToward(from, &packet{kind: kindPayload, flow: flow, target: dest, payloadSize: size})
+	return flow
 }
 
 // SendForward starts a forward-tunnel transfer from the initiator's
 // address. With hints inside env (built via a HintCache) this is TAP_opt;
 // without, TAP_basic.
 func (e *NetEngine) SendForward(from simnet.Addr, env *Envelope, done func(Outcome)) uint64 {
-	p := &packet{kind: kindForward, flow: e.newFlow(done), target: env.HopID, env: env}
+	flow := e.newFlow(done)
+	if e.rel != nil {
+		e.startReliable(flow, from, env.SizeBytes(), func() (*packet, simnet.Addr) {
+			return &packet{kind: kindForward, flow: flow, target: env.HopID, env: env, ackTo: from}, env.Hint
+		})
+		return flow
+	}
+	p := &packet{kind: kindForward, flow: flow, target: env.HopID, env: env}
 	e.dispatch(from, p, env.Hint)
-	return p.flow
+	return flow
 }
 
 // SendReply starts a reply-tunnel transfer from the responder's address.
 func (e *NetEngine) SendReply(from simnet.Addr, renv *ReplyEnvelope, done func(Outcome)) uint64 {
-	p := &packet{kind: kindReply, flow: e.newFlow(done), target: renv.Target, renv: renv}
+	flow := e.newFlow(done)
+	if e.rel != nil {
+		e.startReliable(flow, from, renv.SizeBytes(), func() (*packet, simnet.Addr) {
+			return &packet{kind: kindReply, flow: flow, target: renv.Target, renv: renv, ackTo: from}, renv.Hint
+		})
+		return flow
+	}
+	p := &packet{kind: kindReply, flow: flow, target: renv.Target, renv: renv}
 	e.dispatch(from, p, renv.Hint)
-	return p.flow
+	return flow
 }

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tap/internal/id"
+	"tap/internal/simnet"
+)
+
+// Reliability configures NetEngine's end-to-end ACK/timeout/retransmit
+// protocol. The paper's §6 resilience claim is about the tunnel *anchors*:
+// when a hop node fails, the THA replica closest to the hopid takes over.
+// This protocol supplies the matching traffic resilience: the terminal of
+// a flow acknowledges delivery, the initiator retransmits on timeout with
+// exponential backoff and jitter, and each retransmission re-resolves
+// every hop through DHT routing — so a message lost to a mid-flight node
+// crash is re-driven to whichever replica now holds the hop anchor.
+//
+// The ACK travels the overt path (a direct transmission to the flow
+// origin's address, which the terminal of a measured flow knows in this
+// harness). In a deployment the ACK would ride a §4 reply tunnel to keep
+// the initiator anonymous; the timing difference is one tunnel traversal,
+// and the retransmit logic is identical. Anonymity experiments therefore
+// run with reliability off (the default).
+type Reliability struct {
+	// MaxAttempts bounds the total end-to-end send attempts per flow
+	// (first transmission included). Default 8.
+	MaxAttempts int
+	// RTOScale multiplies the estimated one-way delivery time to produce
+	// the initial retransmit timeout. Default 2.
+	RTOScale float64
+	// ExpectHops is the overlay hop budget assumed by the timeout
+	// estimate — generous is safe (a late timeout only delays recovery;
+	// duplicates are suppressed end to end). Default 16.
+	ExpectHops int
+	// Backoff multiplies the timeout after each attempt. Default 1.5.
+	Backoff float64
+	// JitterFrac randomizes each timeout by ±this fraction, desynchronizing
+	// retransmissions that share a loss event. Default 0.1.
+	JitterFrac float64
+	// MinRTO floors the timeout. Default 50ms.
+	MinRTO simnet.Time
+}
+
+func (r Reliability) withDefaults() Reliability {
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 8
+	}
+	if r.RTOScale == 0 {
+		r.RTOScale = 2
+	}
+	if r.ExpectHops == 0 {
+		r.ExpectHops = 16
+	}
+	if r.Backoff == 0 {
+		r.Backoff = 1.5
+	}
+	if r.JitterFrac == 0 {
+		r.JitterFrac = 0.1
+	}
+	if r.MinRTO == 0 {
+		r.MinRTO = 50 * time.Millisecond
+	}
+	return r
+}
+
+// flowState is the initiator-side record of one in-flight reliable flow.
+type flowState struct {
+	origin simnet.Addr
+	// resend builds a fresh attempt: the packet plus the first-hop
+	// address hint to try (the hint is re-checked against the stale set
+	// on every dispatch).
+	resend   func() (*packet, simnet.Addr)
+	attempts int
+	// gen invalidates superseded timers: only the timer armed for the
+	// current attempt may act.
+	gen     int
+	rto     simnet.Time
+	firstAt simnet.Time
+	lastAt  simnet.Time
+	lastErr string // why the most recent packet died, when observed
+}
+
+// ackRecord is the terminal-side dedup state for a delivered reliable
+// flow: enough to re-ACK duplicates without re-delivering.
+type ackRecord struct {
+	to       simnet.Addr
+	dataHops int
+}
+
+// hintKey identifies one (hop target, hinted address) pair in the stale
+// set.
+type hintKey struct {
+	target id.ID
+	addr   simnet.Addr
+}
+
+// EnableReliability turns on the ACK/retransmit protocol for all flows
+// started afterwards. Flows already in flight keep fire-and-forget
+// semantics.
+func (e *NetEngine) EnableReliability(cfg Reliability) {
+	r := cfg.withDefaults()
+	e.rel = &r
+}
+
+// markStaleHint records a dead-end hint; hintStale queries it. Entries
+// never expire: a hop anchor that migrates back to a previously-stale
+// address is still reached via DHT routing, just without the shortcut.
+func (e *NetEngine) markStaleHint(target id.ID, addr simnet.Addr) {
+	k := hintKey{target, addr}
+	if _, ok := e.staleHints[k]; ok {
+		return
+	}
+	e.staleHints[k] = struct{}{}
+	e.StaleHints++
+}
+
+func (e *NetEngine) hintStale(target id.ID, addr simnet.Addr) bool {
+	_, ok := e.staleHints[hintKey{target, addr}]
+	return ok
+}
+
+// startReliable registers flow state and fires the first attempt.
+func (e *NetEngine) startReliable(flow uint64, origin simnet.Addr, size int, resend func() (*packet, simnet.Addr)) {
+	st := &flowState{
+		origin:  origin,
+		resend:  resend,
+		rto:     e.initialRTO(size),
+		firstAt: e.net.Now(),
+	}
+	e.flows[flow] = st
+	e.attempt(flow, st)
+}
+
+// initialRTO estimates a generous one-way delivery time for a message of
+// the given size: ExpectHops store-and-forward hops, each paying full
+// serialization plus the worst-case link latency, scaled by RTOScale.
+func (e *NetEngine) initialRTO(size int) simnet.Time {
+	perHop := e.net.Link.Serialization(size) + e.net.Link.MaxLatency
+	rto := simnet.Time(float64(int64(perHop)*int64(e.rel.ExpectHops)) * e.rel.RTOScale)
+	if rto < e.rel.MinRTO {
+		rto = e.rel.MinRTO
+	}
+	return rto
+}
+
+// attempt transmits one copy of the flow and arms its retransmit timer.
+func (e *NetEngine) attempt(flow uint64, st *flowState) {
+	st.attempts++
+	st.lastAt = e.net.Now()
+	if st.attempts > 1 {
+		e.Retransmits++
+	}
+	p, hint := st.resend()
+	e.armTimer(flow, st)
+	e.dispatch(st.origin, p, hint)
+}
+
+// armTimer schedules the timeout for the current attempt. A stale timer
+// (the flow finished, or a newer attempt took over) is a no-op.
+func (e *NetEngine) armTimer(flow uint64, st *flowState) {
+	st.gen++
+	gen := st.gen
+	wait := st.rto
+	if j := e.rel.JitterFrac; j > 0 {
+		wait = simnet.Time(float64(wait) * (1 + j*(2*e.jitter.Float64()-1)))
+	}
+	e.net.Kernel.Schedule(wait, func() {
+		cur, ok := e.flows[flow]
+		if !ok || cur.gen != gen {
+			return
+		}
+		if cur.attempts >= e.rel.MaxAttempts {
+			e.exhaust(flow, cur)
+			return
+		}
+		cur.rto = simnet.Time(float64(cur.rto) * e.rel.Backoff)
+		e.attempt(flow, cur)
+	})
+}
+
+// exhaust gives up on a reliable flow after its attempt budget: the
+// initiator concludes the tunnel is dead (every retransmission would need
+// a hop anchor with no live replica, or the path loses every copy).
+func (e *NetEngine) exhaust(flow uint64, st *flowState) {
+	delete(e.flows, flow)
+	delete(e.pending, flow)
+	e.FailFlows++
+	why := st.lastErr
+	if why == "" {
+		why = "no ACK"
+	}
+	cb := e.done[flow]
+	delete(e.done, flow)
+	if cb == nil {
+		return
+	}
+	cb(Outcome{
+		Flow:     flow,
+		At:       e.net.Now(),
+		Attempts: st.attempts,
+		Backoff:  st.lastAt - st.firstAt,
+		FailedAt: fmt.Sprintf("retransmit budget exhausted after %d attempts (%s)", st.attempts, why),
+	})
+}
+
+// ackDelivery runs at the terminal node when a reliable flow's data
+// arrives while the flow is still pending: record the delivery (so
+// duplicates are suppressed) and ACK the origin.
+func (e *NetEngine) ackDelivery(self simnet.Addr, p *packet) {
+	if rec, ok := e.acked[p.flow]; ok {
+		e.DupDeliveries++
+		e.sendAck(self, p.flow, rec)
+		return
+	}
+	rec := ackRecord{to: p.ackTo, dataHops: p.hops}
+	e.acked[p.flow] = rec
+	e.sendAck(self, p.flow, rec)
+}
+
+// sendAck transmits the end-to-end ACK over the overt path.
+func (e *NetEngine) sendAck(self simnet.Addr, flow uint64, rec ackRecord) {
+	e.AcksSent++
+	ack := &packet{kind: kindAck, flow: flow, dataHops: rec.dataHops}
+	e.send(self, rec.to, ack)
+}
+
+// handleAck completes a reliable flow at its initiator. Duplicate ACKs —
+// retransmitted data racing an earlier ACK — are ignored.
+func (e *NetEngine) handleAck(p *packet) {
+	st, ok := e.flows[p.flow]
+	if !ok {
+		return
+	}
+	e.AcksRecv++
+	delete(e.flows, p.flow)
+	delete(e.pending, p.flow)
+	cb := e.done[p.flow]
+	delete(e.done, p.flow)
+	if cb == nil {
+		return
+	}
+	cb(Outcome{
+		Flow:      p.flow,
+		Delivered: true,
+		At:        e.net.Now(),
+		NetHops:   p.dataHops,
+		Attempts:  st.attempts,
+		Backoff:   st.lastAt - st.firstAt,
+	})
+}

@@ -91,7 +91,9 @@ func (m LinkModel) HopDelay(a, b Addr, size int) time.Duration {
 type Stats struct {
 	MessagesSent      uint64
 	MessagesDelivered uint64
-	MessagesDropped   uint64 // destination dead at delivery time
+	MessagesDropped   uint64 // destination dead or down at delivery time
+	MessagesLost      uint64 // lost in transit or sent by a crashed node (FaultPlan)
+	LatencySpikes     uint64 // transmissions delayed by a FaultPlan spike
 	BytesSent         uint64
 }
 
@@ -117,6 +119,10 @@ type Network struct {
 	// flows that overlap in time are more faithful with it on.
 	UplinkContention bool
 	uplinkFree       map[Addr]Time // next instant each uplink is idle
+
+	// faults is the installed FaultPlan state; nil means a fault-free
+	// network (the default).
+	faults *faultState
 }
 
 // NewNetwork returns a network with capacity for n addresses.
@@ -146,6 +152,9 @@ func (n *Network) Detach(addr Addr) {
 		return
 	}
 	n.handlers[addr] = nil
+	// A crashed node's uplink dies with it: a later restart at this
+	// address must not inherit the stale uplink-busy horizon.
+	delete(n.uplinkFree, addr)
 }
 
 // Attached reports whether addr currently has a live handler.
@@ -172,6 +181,11 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 	}
 	n.Stats.MessagesSent++
 	n.Stats.BytesSent += uint64(msg.SizeBytes())
+	if n.faults != nil && n.faults.down[src] {
+		// A node inside a crash window transmits nothing.
+		n.Stats.MessagesLost++
+		return
+	}
 	var delay Time
 	if n.UplinkContention {
 		if n.uplinkFree == nil {
@@ -187,9 +201,18 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 	} else {
 		delay = n.Link.HopDelay(src, dst, msg.SizeBytes())
 	}
+	if n.faults != nil {
+		// Loss is drawn after the uplink bookkeeping: the bits were
+		// clocked onto the wire and vanished in transit.
+		extra, lost := n.faults.applyFaults(&n.Stats, src, dst)
+		if lost {
+			return
+		}
+		delay += extra
+	}
 	n.Kernel.Schedule(delay, func() {
 		h := n.handlers[dst]
-		if h == nil {
+		if h == nil || (n.faults != nil && n.faults.down[dst]) {
 			n.Stats.MessagesDropped++
 			if n.DropHook != nil {
 				n.DropHook(src, dst, msg)
