@@ -19,6 +19,7 @@ import (
 	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/secroute"
+	"tap/internal/tha"
 )
 
 // --- figure benchmarks --------------------------------------------------------
@@ -26,6 +27,7 @@ import (
 // BenchmarkFig2TunnelFailure regenerates Figure 2 (tunnel failure vs node
 // failure fraction; current tunneling vs TAP k=3 and k=5).
 func BenchmarkFig2TunnelFailure(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := experiments.Fig2(experiments.Fig2Params{
 			N: 600, Tunnels: 120, Length: 5,
@@ -42,6 +44,7 @@ func BenchmarkFig2TunnelFailure(b *testing.B) {
 // BenchmarkFig3Collusion regenerates Figure 3 (corrupted tunnels vs
 // malicious fraction, k=3).
 func BenchmarkFig3Collusion(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := experiments.Fig3(experiments.Fig3Params{
 			N: 600, Tunnels: 200, Length: 5, K: 3,
@@ -57,6 +60,7 @@ func BenchmarkFig3Collusion(b *testing.B) {
 // BenchmarkFig4aReplicationFactor regenerates Figure 4(a) (corruption vs
 // replication factor k at p=0.1).
 func BenchmarkFig4aReplicationFactor(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := experiments.Fig4a(experiments.Fig4aParams{
 			N: 600, Tunnels: 200, Length: 5,
@@ -72,6 +76,7 @@ func BenchmarkFig4aReplicationFactor(b *testing.B) {
 // BenchmarkFig4bTunnelLength regenerates Figure 4(b) (corruption vs
 // tunnel length at p=0.1, k=3).
 func BenchmarkFig4bTunnelLength(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := experiments.Fig4b(experiments.Fig4bParams{
 			N: 600, Tunnels: 200,
@@ -87,6 +92,7 @@ func BenchmarkFig4bTunnelLength(b *testing.B) {
 // BenchmarkFig5Churn regenerates Figure 5 (corruption over time under
 // churn; un-refreshed vs refreshed tunnels).
 func BenchmarkFig5Churn(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := experiments.Fig5(experiments.Fig5Params{
 			N: 600, Tunnels: 120, Length: 5, K: 3, Malicious: 0.1,
@@ -102,6 +108,7 @@ func BenchmarkFig5Churn(b *testing.B) {
 // BenchmarkFig6Transfer regenerates Figure 6 (2 Mb transfer time vs
 // network size; overt vs TAP_basic vs TAP_opt at l=3 and l=5).
 func BenchmarkFig6Transfer(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := experiments.Fig6(experiments.Fig6Params{
 			Sizes: []int{100, 300, 1000}, Lengths: []int{3, 5}, K: 3,
@@ -118,6 +125,7 @@ func BenchmarkFig6Transfer(b *testing.B) {
 // BenchmarkExtSecureRouting regenerates the secure-routing extension
 // table (honest-owner resolution vs malicious routers).
 func BenchmarkExtSecureRouting(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := experiments.ExtSecRoute(experiments.ExtSecRouteParams{
 			N: 600, Fracs: []float64{0.1, 0.2, 0.3}, Lookups: 60,
@@ -132,6 +140,7 @@ func BenchmarkExtSecureRouting(b *testing.B) {
 // BenchmarkExtDetection regenerates the tunnel-detection extension table
 // (send success, unmanaged vs monitored, under silent droppers).
 func BenchmarkExtDetection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := experiments.ExtDetect(experiments.ExtDetectParams{
 			N: 500, Length: 4, Fracs: []float64{0.05, 0.15}, Sends: 25,
@@ -146,6 +155,7 @@ func BenchmarkExtDetection(b *testing.B) {
 // BenchmarkExtCoverTraffic regenerates the cover-traffic cost table
 // (network bytes multiplier vs cover rate) — §2's argument, measured.
 func BenchmarkExtCoverTraffic(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := experiments.ExtCover(experiments.ExtCoverParams{
 			N: 150, Rates: []float64{0, 1, 5}, Transfers: 2, FileBytes: 50_000,
@@ -166,6 +176,7 @@ func BenchmarkExtCoverTraffic(b *testing.B) {
 func BenchmarkAblationReplication(b *testing.B) {
 	for _, k := range []int{1, 3, 5, 8} {
 		b.Run(kName(k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				fail, err := experiments.Fig2(experiments.Fig2Params{
 					N: 500, Tunnels: 100, Length: 5, Ks: []int{k},
@@ -196,6 +207,7 @@ func BenchmarkAblationReplication(b *testing.B) {
 func BenchmarkAblationHintStaleness(b *testing.B) {
 	for _, stale := range []int{0, 1, 3, 5} {
 		b.Run("stale_hops="+itoa(stale), func(b *testing.B) {
+			b.ReportAllocs()
 			totalHops := 0
 			deliveries := 0
 			for i := 0; i < b.N; i++ {
@@ -252,6 +264,7 @@ func BenchmarkAblationHintStaleness(b *testing.B) {
 // BenchmarkAblationScatter compares the §3.5 scatter rule against uniform
 // random anchor choice: corruption rate at p=0.15 for both policies.
 func BenchmarkAblationScatter(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		root := rng.New(uint64(i) + 1)
 		w, err := experiments.BuildWorld(500, 3, root.Split("world"))
@@ -370,6 +383,68 @@ func BenchmarkLayeredSeal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.BuildForward(tun, nil, id.HashString("d"), payload, bs); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLayeredPeel measures the hop side of the same 250 KB 5-layer
+// message: one receive copy plus every layer decryption, the aggregate
+// per-hop work one full tunnel traversal pays. Anchors are fetched through
+// the directory, exactly as hop nodes obtain them.
+func BenchmarkLayeredPeel(b *testing.B) {
+	root := rng.New(1)
+	w, err := experiments.BuildWorld(200, 3, root.Split("world"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := w.OV.RandomLive(root.Split("pick"))
+	in, err := core.NewInitiator(w.Svc, node, root.Split("init"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := in.DeployDirect(8); err != nil {
+		b.Fatal(err)
+	}
+	tun, err := in.FormTunnel(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 250_000)
+	env, err := core.BuildForward(tun, nil, id.HashString("d"), payload, root.Split("build"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	anchors := make([]tha.Anchor, tun.Length())
+	for i, h := range tun.Hops {
+		hn, ok := w.Dir.HopNode(h.HopID)
+		if !ok {
+			b.Fatal("hop lost")
+		}
+		anchors[i], err = w.Dir.FetchAsHolder(hn.Ref().Addr, h.HopID)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	scratch := make([]byte, len(env.Sealed))
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One receive copy, then each hop peels in place on the owned
+		// buffer — the walker's exact pattern.
+		sealed := scratch[:copy(scratch, env.Sealed)]
+		for j := range anchors {
+			layer, err := core.OpenForwardLayerInPlace(anchors[j], sealed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if layer.IsExit {
+				if len(layer.Payload) != len(payload) {
+					b.Fatal("short payload")
+				}
+				break
+			}
+			sealed = layer.Inner
 		}
 	}
 }

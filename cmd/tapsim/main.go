@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,6 +44,8 @@ func main() {
 		tails   = flag.Bool("tails", false, "fig6: also report p95 per mode")
 		contend = flag.Bool("contention", false, "fig6: per-node uplink queuing in the link model")
 		outDir  = flag.String("out", "", "also write each table as CSV into this directory")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -49,6 +53,34 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tapsim: -out: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tapsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tapsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// The heap profile is written after the experiments finish (or on
+		// any exit path that runs the defers).
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tapsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tapsim: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	if *paper {

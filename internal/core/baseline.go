@@ -19,10 +19,27 @@ import (
 type FixedTunnel struct {
 	Relays []pastry.NodeRef
 	Keys   []crypt.Key
+
+	// sealers lazily caches one key schedule per relay, shared by the
+	// build and delivery paths so a round trip derives each relay's
+	// subkeys once instead of twice.
+	sealers []*crypt.Sealer
 }
 
 // Length returns the number of relays.
 func (ft *FixedTunnel) Length() int { return len(ft.Relays) }
+
+// relaySealer returns the cached Sealer for relay i, deriving it on first
+// use.
+func (ft *FixedTunnel) relaySealer(i int) *crypt.Sealer {
+	if len(ft.sealers) != len(ft.Keys) {
+		ft.sealers = make([]*crypt.Sealer, len(ft.Keys))
+	}
+	if ft.sealers[i] == nil {
+		ft.sealers[i] = crypt.NewSealer(ft.Keys[i])
+	}
+	return ft.sealers[i]
+}
 
 // FormFixed picks l distinct live relays uniformly at random and
 // establishes a layer key with each (the key exchange itself is assumed,
@@ -78,7 +95,7 @@ func BuildFixedForward(ft *FixedTunnel, dest id.ID, payload []byte, stream *rng.
 	w.Byte(layerExit)
 	w.ID(dest)
 	w.Blob(payload)
-	sealed, err := crypt.Seal(ft.Keys[l-1], stream, w.Bytes())
+	sealed, err := ft.relaySealer(l-1).SealTo(nil, stream, w.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +104,7 @@ func BuildFixedForward(ft *FixedTunnel, dest id.ID, payload []byte, stream *rng.
 		w.Byte(layerRelay)
 		w.Int64(int64(ft.Relays[i+1].Addr))
 		w.Blob(sealed)
-		sealed, err = crypt.Seal(ft.Keys[i], stream, w.Bytes())
+		sealed, err = ft.relaySealer(i).SealTo(nil, stream, w.Bytes())
 		if err != nil {
 			return nil, err
 		}
@@ -99,13 +116,15 @@ func BuildFixedForward(ft *FixedTunnel, dest id.ID, payload []byte, stream *rng.
 // moment any relay is gone — there is no recovery, which is the point of
 // the comparison. On success it returns the exit payload and destination.
 func (svc *Service) DeliverFixed(ft *FixedTunnel, sealed []byte) (id.ID, []byte, error) {
-	blob := sealed
+	// Copy the onion once, then every relay peels in place with its
+	// cached key schedule (the same schedules BuildFixedForward used).
+	blob := append([]byte(nil), sealed...)
 	for i, relay := range ft.Relays {
 		n := svc.OV.Node(relay.Addr)
 		if n == nil || !n.Alive() || n.ID() != relay.ID {
 			return id.ID{}, nil, fmt.Errorf("%w: relay %d (%s)", ErrRelayDead, i, relay)
 		}
-		plain, err := crypt.Open(ft.Keys[i], blob)
+		plain, err := ft.relaySealer(i).OpenInPlace(blob)
 		if err != nil {
 			return id.ID{}, nil, fmt.Errorf("core: fixed relay %d: %w", i, err)
 		}
@@ -120,7 +139,7 @@ func (svc *Service) DeliverFixed(ft *FixedTunnel, sealed []byte) (id.ID, []byte,
 			if i+1 >= len(ft.Relays) || next != ft.Relays[i+1].Addr {
 				return id.ID{}, nil, fmt.Errorf("core: fixed tunnel layer order corrupt at relay %d", i)
 			}
-			blob = append([]byte(nil), inner...)
+			blob = inner
 		case layerExit:
 			dest := r.ID()
 			payload := r.Blob()
@@ -130,7 +149,7 @@ func (svc *Service) DeliverFixed(ft *FixedTunnel, sealed []byte) (id.ID, []byte,
 			if i != len(ft.Relays)-1 {
 				return id.ID{}, nil, fmt.Errorf("core: exit layer at non-tail relay %d", i)
 			}
-			return dest, append([]byte(nil), payload...), nil
+			return dest, payload, nil
 		default:
 			return id.ID{}, nil, fmt.Errorf("core: fixed tunnel: unknown marker %d", marker)
 		}

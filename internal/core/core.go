@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 
+	"tap/internal/crypt"
 	"tap/internal/id"
 	"tap/internal/pastry"
 	"tap/internal/rng"
@@ -46,6 +47,23 @@ import (
 // and ciphertext.
 type Tunnel struct {
 	Hops []tha.Secret
+
+	// sealers caches one layer-crypto key schedule per hop, index-aligned
+	// with Hops. Form fills it; tunnels assembled by hand get theirs
+	// lazily on first build. Like the rest of a Tunnel it belongs to one
+	// goroutine — the owner.
+	sealers []*crypt.Sealer
+}
+
+// hopSealer returns the cached Sealer for hop i, deriving it on first use.
+func (t *Tunnel) hopSealer(i int) *crypt.Sealer {
+	if len(t.sealers) != len(t.Hops) {
+		t.sealers = make([]*crypt.Sealer, len(t.Hops))
+	}
+	if t.sealers[i] == nil {
+		t.sealers[i] = crypt.NewSealer(t.Hops[i].Key)
+	}
+	return t.sealers[i]
 }
 
 // Length returns the number of hops (the paper's tunnel length l).
@@ -68,6 +86,9 @@ func Form(pool []tha.Secret, l int, b int, stream *rng.Stream) (*Tunnel, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: forming tunnel: %w", err)
 	}
+	// Hop key schedules are derived lazily by hopSealer on the first
+	// build: many formed tunnels (availability experiments) never carry a
+	// message, and must not pay AES/HMAC setup.
 	return &Tunnel{Hops: hops}, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"tap/internal/crypt"
@@ -62,54 +63,102 @@ type ForwardLayer struct {
 	Payload []byte
 }
 
+// uvarintLen returns the encoded size of a Blob length prefix for v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// hintAt reads the i-th hint from a possibly-nil hint slice (nil is the
+// basic, unoptimized mode: no hints anywhere).
+func hintAt(hints []simnet.Addr, i int) simnet.Addr {
+	if hints == nil {
+		return simnet.NoAddr
+	}
+	return hints[i]
+}
+
 // BuildForward produces the Figure 1 message
 // {h_2,[ip_2],{h_3,[ip_3],{D,m}_K3}_K2}_K1 for the given tunnel. hints may
 // be nil (basic mode); with hints it is the §5 optimized form. The
-// returned envelope is addressed to the first hop.
+// returned envelope is addressed to the first hop and owns its Sealed
+// buffer.
+//
+// The whole onion is assembled in one exactly-sized buffer: every layer's
+// sealed blob is the tail of the enclosing layer's plaintext, so each
+// layer is sealed where it already lies and the payload is encrypted
+// straight out of the caller's slice — no per-layer copies, no per-layer
+// allocations. Nonces are drawn innermost-first, the same stream order as
+// the original nested builder, which keeps output bit-identical for a
+// given stream (the experiment tables depend on that).
 func BuildForward(t *Tunnel, hints []simnet.Addr, dest id.ID, payload []byte, stream *rng.Stream) (*Envelope, error) {
 	l := t.Length()
 	if l == 0 {
 		return nil, fmt.Errorf("core: cannot build a message for an empty tunnel")
 	}
-	if hints == nil {
-		hints = make([]simnet.Addr, l)
-		for i := range hints {
-			hints[i] = simnet.NoAddr
-		}
-	}
-	if len(hints) != l {
+	if hints != nil && len(hints) != l {
 		return nil, fmt.Errorf("core: %d hints for %d hops", len(hints), l)
 	}
 
-	// Innermost: the exit layer, sealed with the tail hop's key.
-	w := wire.NewWriter(1 + id.Size + len(payload) + 8)
-	w.Byte(layerExit)
-	w.ID(dest)
-	w.Blob(payload)
-	sealed, err := crypt.Seal(t.Hops[l-1].Key, stream, w.Bytes())
-	if err != nil {
+	// Layer sizes compose inside-out (the uvarint length prefix of each
+	// inner blob depends on its size).
+	sizes := make([]int, l)
+	exitHdr := 1 + id.Size + uvarintLen(uint64(len(payload)))
+	sizes[l-1] = exitHdr + len(payload) + crypt.Overhead
+	for i := l - 2; i >= 0; i-- {
+		sizes[i] = 1 + id.Size + 8 + uvarintLen(uint64(sizes[i+1])) + sizes[i+1] + crypt.Overhead
+	}
+	buf := make([]byte, sizes[0])
+
+	// Offsets compose outside-in: layer i+1 sits after layer i's nonce
+	// margin and relay header.
+	offs := make([]int, l)
+	for i := 1; i < l; i++ {
+		offs[i] = offs[i-1] + crypt.NonceSize + 1 + id.Size + 8 + uvarintLen(uint64(sizes[i]))
+	}
+
+	// Innermost: the exit layer, sealed with the tail hop's key; the
+	// payload is encrypted directly from the caller's slice.
+	p := buf[offs[l-1]+crypt.NonceSize:]
+	p[0] = layerExit
+	copy(p[1:], dest[:])
+	binary.PutUvarint(p[1+id.Size:], uint64(len(payload)))
+	region := buf[offs[l-1] : offs[l-1]+sizes[l-1]]
+	if err := t.hopSealer(l-1).SealInPlaceFrom(region, stream, exitHdr, payload); err != nil {
 		return nil, fmt.Errorf("core: sealing exit layer: %w", err)
 	}
 	// Relay layers outward: layer i names hop i+1.
 	for i := l - 2; i >= 0; i-- {
-		w := wire.NewWriter(1 + id.Size + 8 + len(sealed) + 8)
-		w.Byte(layerRelay)
-		w.ID(t.Hops[i+1].HopID)
-		w.Int64(int64(hints[i+1]))
-		w.Blob(sealed)
-		sealed, err = crypt.Seal(t.Hops[i].Key, stream, w.Bytes())
-		if err != nil {
+		p := buf[offs[i]+crypt.NonceSize:]
+		p[0] = layerRelay
+		copy(p[1:], t.Hops[i+1].HopID[:])
+		binary.BigEndian.PutUint64(p[1+id.Size:], uint64(int64(hintAt(hints, i+1))))
+		binary.PutUvarint(p[1+id.Size+8:], uint64(sizes[i+1]))
+		if err := t.hopSealer(i).SealInPlace(buf[offs[i]:offs[i]+sizes[i]], stream); err != nil {
 			return nil, fmt.Errorf("core: sealing relay layer %d: %w", i, err)
 		}
 	}
-	return &Envelope{HopID: t.Hops[0].HopID, Hint: hints[0], Sealed: sealed}, nil
+	return &Envelope{HopID: t.Hops[0].HopID, Hint: hintAt(hints, 0), Sealed: buf}, nil
 }
 
 // OpenForwardLayer is the single symmetric operation a hop performs: strip
 // one layer with the anchor key and reveal either the next hop or the
-// exit.
+// exit. sealed is left untouched (the layer is peeled on a private copy);
+// hop engines that own their buffer use OpenForwardLayerInPlace.
 func OpenForwardLayer(a tha.Anchor, sealed []byte) (ForwardLayer, error) {
-	plain, err := crypt.Open(a.Key, sealed)
+	return OpenForwardLayerInPlace(a, append([]byte(nil), sealed...))
+}
+
+// OpenForwardLayerInPlace peels one layer decrypting sealed where it
+// lies, using the anchor's cached key schedule: one MAC pass, one cipher
+// pass, zero copies. The returned layer aliases sealed — the caller must
+// own the buffer and must not treat it as ciphertext afterwards.
+func OpenForwardLayerInPlace(a tha.Anchor, sealed []byte) (ForwardLayer, error) {
+	plain, err := a.Sealer().OpenInPlace(sealed)
 	if err != nil {
 		return ForwardLayer{}, fmt.Errorf("core: hop %s: %w", a.HopID.Short(), err)
 	}
@@ -200,15 +249,6 @@ func DecodeReplyTunnel(b []byte) (*ReplyTunnel, error) {
 	return rt, nil
 }
 
-// replyLayerBody encodes the uniform reply layer: next id, hint, rest.
-func replyLayerBody(next id.ID, hint simnet.Addr, rest []byte) []byte {
-	w := wire.NewWriter(id.Size + 8 + len(rest) + 8)
-	w.ID(next)
-	w.Int64(int64(hint))
-	w.Blob(rest)
-	return w.Bytes()
-}
-
 // FakeOnionSize is the default fake-onion length: sized like one more
 // sealed reply layer so the tail hop sees a plausible remainder.
 const FakeOnionSize = id.Size + 8 + 2 + crypt.Overhead
@@ -217,40 +257,70 @@ const FakeOnionSize = id.Size + 8 + 2 + crypt.Overhead
 // T_r = {hid_1', {hid_2', {hid_3', {bid, fakeonion}_K3'}_K2'}_K1'}:
 // a pre-peeled onion ending at bid, capped with fake padding. hints may be
 // nil for basic mode.
+//
+// Like BuildForward, the onion is assembled in one exactly-sized buffer
+// and sealed layer by layer where it lies. The stream draw order of the
+// nested builder is preserved — fake onion bytes first, then the tail
+// nonce, then each outward layer's nonce — so output stays bit-identical.
 func BuildReply(t *Tunnel, hints []simnet.Addr, bid id.ID, stream *rng.Stream) (*ReplyTunnel, error) {
 	l := t.Length()
 	if l == 0 {
 		return nil, fmt.Errorf("core: cannot build a reply tunnel with no hops")
 	}
-	if hints == nil {
-		hints = make([]simnet.Addr, l)
-		for i := range hints {
-			hints[i] = simnet.NoAddr
-		}
-	}
-	if len(hints) != l {
+	if hints != nil && len(hints) != l {
 		return nil, fmt.Errorf("core: %d hints for %d hops", len(hints), l)
 	}
-	fake := make([]byte, FakeOnionSize)
-	stream.Bytes(fake)
-	sealed, err := crypt.Seal(t.Hops[l-1].Key, stream, replyLayerBody(bid, simnet.NoAddr, fake))
-	if err != nil {
+
+	// Every reply layer has the same header; only the inner blob widths
+	// differ. Sizes inside-out, offsets outside-in.
+	hdr := func(inner int) int { return id.Size + 8 + uvarintLen(uint64(inner)) }
+	sizes := make([]int, l)
+	sizes[l-1] = hdr(FakeOnionSize) + FakeOnionSize + crypt.Overhead
+	for i := l - 2; i >= 0; i-- {
+		sizes[i] = hdr(sizes[i+1]) + sizes[i+1] + crypt.Overhead
+	}
+	buf := make([]byte, sizes[0])
+	offs := make([]int, l)
+	for i := 1; i < l; i++ {
+		offs[i] = offs[i-1] + crypt.NonceSize + hdr(sizes[i])
+	}
+
+	// Tail layer: bid, no hint, fake onion. The fake bytes are drawn
+	// before the tail nonce, matching the historical stream order.
+	p := buf[offs[l-1]+crypt.NonceSize:]
+	copy(p, bid[:])
+	noHint := int64(simnet.NoAddr)
+	binary.BigEndian.PutUint64(p[id.Size:], uint64(noHint))
+	n := id.Size + 8 + binary.PutUvarint(p[id.Size+8:], uint64(FakeOnionSize))
+	stream.Bytes(p[n : n+FakeOnionSize])
+	if err := t.hopSealer(l-1).SealInPlace(buf[offs[l-1]:offs[l-1]+sizes[l-1]], stream); err != nil {
 		return nil, fmt.Errorf("core: sealing reply tail: %w", err)
 	}
 	for i := l - 2; i >= 0; i-- {
-		sealed, err = crypt.Seal(t.Hops[i].Key, stream, replyLayerBody(t.Hops[i+1].HopID, hints[i+1], sealed))
-		if err != nil {
+		p := buf[offs[i]+crypt.NonceSize:]
+		copy(p, t.Hops[i+1].HopID[:])
+		binary.BigEndian.PutUint64(p[id.Size:], uint64(int64(hintAt(hints, i+1))))
+		binary.PutUvarint(p[id.Size+8:], uint64(sizes[i+1]))
+		if err := t.hopSealer(i).SealInPlace(buf[offs[i]:offs[i]+sizes[i]], stream); err != nil {
 			return nil, fmt.Errorf("core: sealing reply layer %d: %w", i, err)
 		}
 	}
-	return &ReplyTunnel{First: t.Hops[0].HopID, FirstHint: hints[0], Onion: sealed}, nil
+	return &ReplyTunnel{First: t.Hops[0].HopID, FirstHint: hintAt(hints, 0), Onion: buf}, nil
 }
 
 // OpenReplyLayer strips one reply-onion layer, yielding the next target
 // (a hopid — or, at the end, the bid, though the hop cannot tell which)
-// and the remaining onion.
+// and the remaining onion. onion is left untouched; hop engines that own
+// their buffer use OpenReplyLayerInPlace.
 func OpenReplyLayer(a tha.Anchor, onion []byte) (next id.ID, hint simnet.Addr, rest []byte, err error) {
-	plain, err := crypt.Open(a.Key, onion)
+	return OpenReplyLayerInPlace(a, append([]byte(nil), onion...))
+}
+
+// OpenReplyLayerInPlace peels one reply layer decrypting onion where it
+// lies with the anchor's cached key schedule. The returned rest aliases
+// onion — the caller must own the buffer.
+func OpenReplyLayerInPlace(a tha.Anchor, onion []byte) (next id.ID, hint simnet.Addr, rest []byte, err error) {
+	plain, err := a.Sealer().OpenInPlace(onion)
 	if err != nil {
 		return id.ID{}, simnet.NoAddr, nil, fmt.Errorf("core: reply hop %s: %w", a.HopID.Short(), err)
 	}

@@ -83,7 +83,10 @@ func (svc *Service) locateHop(from simnet.Addr, hopID id.ID, hint simnet.Addr, s
 func (svc *Service) DeliverForward(from simnet.Addr, env *Envelope) (*ForwardResult, error) {
 	var stats WalkStats
 	cur := from
-	hopID, hint, sealed := env.HopID, env.Hint, env.Sealed
+	// Copy the onion once; each hop then peels its layer in place on the
+	// walker-owned buffer. env.Sealed must stay intact — the initiator's
+	// reliability layer re-sends the same envelope on retransmit.
+	hopID, hint, sealed := env.HopID, env.Hint, append([]byte(nil), env.Sealed...)
 	for depth := 0; ; depth++ {
 		if depth > 64 {
 			return nil, fmt.Errorf("core: forward walk exceeded 64 hops; malformed tunnel")
@@ -100,7 +103,7 @@ func (svc *Service) DeliverForward(from simnet.Addr, env *Envelope) (*ForwardRes
 		if err != nil {
 			return nil, fmt.Errorf("%w: hop node %s for %s", ErrNotHolder, node.Ref(), hopID.Short())
 		}
-		layer, err := OpenForwardLayer(anchor, sealed)
+		layer, err := OpenForwardLayerInPlace(anchor, sealed)
 		if err != nil {
 			return nil, err
 		}
@@ -119,8 +122,9 @@ func (svc *Service) DeliverForward(from simnet.Addr, env *Envelope) (*ForwardRes
 		return &ForwardResult{
 			Dest:     layer.Dest,
 			DestNode: path[len(path)-1],
-			Payload:  append([]byte(nil), layer.Payload...),
-			Stats:    stats,
+			// Aliases the walker-owned buffer; nothing else references it.
+			Payload: layer.Payload,
+			Stats:   stats,
 		}, nil
 	}
 }
@@ -132,7 +136,8 @@ func (svc *Service) DeliverForward(from simnet.Addr, env *Envelope) (*ForwardRes
 func (svc *Service) DeliverReply(from simnet.Addr, env *ReplyEnvelope) (*ReplyResult, error) {
 	var stats WalkStats
 	cur := from
-	target, hint, onion := env.Target, env.Hint, env.Onion
+	// Copy the onion once and peel in place, as in DeliverForward.
+	target, hint, onion := env.Target, env.Hint, append([]byte(nil), env.Onion...)
 	for depth := 0; ; depth++ {
 		if depth > 64 {
 			return nil, fmt.Errorf("core: reply walk exceeded 64 hops; malformed reply tunnel")
@@ -168,7 +173,7 @@ func (svc *Service) DeliverReply(from simnet.Addr, env *ReplyEnvelope) (*ReplyRe
 			return &ReplyResult{
 				Target:     target,
 				LandedNode: node.Ref(),
-				Remainder:  append([]byte(nil), onion...),
+				Remainder:  onion, // aliases the walker-owned buffer
 				Data:       append([]byte(nil), env.Data...),
 				Stats:      stats,
 			}, nil
@@ -177,7 +182,7 @@ func (svc *Service) DeliverReply(from simnet.Addr, env *ReplyEnvelope) (*ReplyRe
 		if !svc.hopServes(node.Ref().Addr, target) {
 			return nil, fmt.Errorf("%w: reply hop %s at node %s", ErrDropped, target.Short(), node.Ref())
 		}
-		next, nextHint, rest, err := OpenReplyLayer(anchor, onion)
+		next, nextHint, rest, err := OpenReplyLayerInPlace(anchor, onion)
 		if err != nil {
 			return nil, err
 		}

@@ -15,7 +15,6 @@ package crypt
 
 import (
 	"crypto/aes"
-	"crypto/cipher"
 	"crypto/hmac"
 	"crypto/sha256"
 	"errors"
@@ -35,6 +34,15 @@ const tagSize = 16
 // Overhead is the ciphertext expansion of one Seal: nonce plus tag. Layer
 // counting in tunnel messages uses it to compute wire sizes.
 const Overhead = nonceSize + tagSize
+
+// NonceSize and TagSize are Overhead's two components, exported so layered
+// message builders can reserve the exact margins around an in-place
+// plaintext region: a sealed blob is nonce (NonceSize) || body || tag
+// (TagSize).
+const (
+	NonceSize = nonceSize
+	TagSize   = tagSize
+)
 
 // Key is a symmetric layer key — the K of a tunnel hop anchor.
 type Key [KeySize]byte
@@ -72,43 +80,24 @@ func subkeys(k Key) (enc [16]byte, mac [32]byte) {
 
 // Seal encrypts plaintext under k with a nonce drawn from r and appends an
 // authentication tag: output is nonce || AES-CTR(ciphertext) || tag.
+//
+// Seal derives k's schedule on every call; hot paths that reuse a key
+// should hold a Sealer and call SealTo, which emits bit-identical output.
 func Seal(k Key, r io.Reader, plaintext []byte) ([]byte, error) {
-	encKey, macKey := subkeys(k)
-	out := make([]byte, nonceSize+len(plaintext)+tagSize)
-	nonce := out[:nonceSize]
-	if _, err := io.ReadFull(r, nonce); err != nil {
-		return nil, fmt.Errorf("crypt: drawing nonce: %w", err)
-	}
-	block, err := aes.NewCipher(encKey[:])
+	out, err := NewSealer(k).SealTo(nil, r, plaintext)
 	if err != nil {
 		return nil, err
 	}
-	cipher.NewCTR(block, nonce).XORKeyStream(out[nonceSize:nonceSize+len(plaintext)], plaintext)
-	mac := hmac.New(sha256.New, macKey[:])
-	mac.Write(out[:nonceSize+len(plaintext)])
-	copy(out[nonceSize+len(plaintext):], mac.Sum(nil)[:tagSize])
 	return out, nil
 }
 
 // Open authenticates and decrypts a blob produced by Seal with the same
-// key.
+// key. Like Seal, it derives the schedule per call; hot paths use
+// Sealer.OpenTo or Sealer.OpenInPlace.
 func Open(k Key, sealed []byte) ([]byte, error) {
-	if len(sealed) < Overhead {
-		return nil, ErrTruncated
-	}
-	encKey, macKey := subkeys(k)
-	body := sealed[:len(sealed)-tagSize]
-	tag := sealed[len(sealed)-tagSize:]
-	mac := hmac.New(sha256.New, macKey[:])
-	mac.Write(body)
-	if !hmac.Equal(tag, mac.Sum(nil)[:tagSize]) {
-		return nil, ErrAuth
-	}
-	block, err := aes.NewCipher(encKey[:])
+	out, err := NewSealer(k).OpenTo(nil, sealed)
 	if err != nil {
 		return nil, err
 	}
-	plaintext := make([]byte, len(body)-nonceSize)
-	cipher.NewCTR(block, body[:nonceSize]).XORKeyStream(plaintext, body[nonceSize:])
-	return plaintext, nil
+	return out, nil
 }

@@ -14,6 +14,7 @@
 package id
 
 import (
+	"bytes"
 	"crypto/sha1"
 	"encoding/binary"
 	"encoding/hex"
@@ -118,15 +119,9 @@ func (a ID) IsZero() bool {
 
 // Cmp compares a and b as 160-bit unsigned integers, returning -1, 0, or 1.
 func (a ID) Cmp(b ID) int {
-	for i := 0; i < Size; i++ {
-		switch {
-		case a[i] < b[i]:
-			return -1
-		case a[i] > b[i]:
-			return 1
-		}
-	}
-	return 0
+	// bytes.Compare lowers to an optimized memcmp; this backs every probe
+	// of the overlay's binary searches.
+	return bytes.Compare(a[:], b[:])
 }
 
 // Less reports a < b in plain (non-ring) unsigned order.

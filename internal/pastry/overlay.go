@@ -133,11 +133,36 @@ func (o *Overlay) RandomLive(stream *rng.Stream) *Node {
 
 // --- oracle ---------------------------------------------------------------
 
-// pos returns the insertion position of nid in the sorted index.
+// pos returns the insertion position of nid in the sorted index. This is
+// the innermost operation of every ownership query and table build, so it
+// is a hand-rolled binary search rather than sort.Search — no closure, no
+// indirect calls per probe.
 func (o *Overlay) pos(nid id.ID) int {
-	return sort.Search(len(o.index), func(i int) bool {
-		return !o.index[i].Less(nid)
-	})
+	lo, hi := 0, len(o.index)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if o.index[mid].Less(nid) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first position in o.index[from:to] whose id
+// exceeds hi, in absolute index coordinates.
+func (o *Overlay) upperBound(hi id.ID, from, to int) int {
+	lo := from
+	for lo < to {
+		mid := int(uint(lo+to) >> 1)
+		if hi.Less(o.index[mid]) {
+			to = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // OwnerOf returns the live node numerically closest to key: the oracle
@@ -169,8 +194,9 @@ func (o *Overlay) ReplicaSet(key id.ID, k int) []*Node {
 	}
 	// The k closest ids on a sorted ring are a contiguous window around
 	// the insertion point; merge outward from both sides.
-	lo := (o.pos(key) - 1 + n) % n
-	hi := o.pos(key) % n
+	p := o.pos(key)
+	lo := (p - 1 + n) % n
+	hi := p % n
 	out := make([]*Node, 0, k)
 	for len(out) < k {
 		a, b := o.index[lo], o.index[hi]
@@ -218,9 +244,7 @@ func (o *Overlay) RingNeighbors(nid id.ID, each int) []*Node {
 // block, so it never wraps).
 func (o *Overlay) rangeMembers(lo, hi id.ID) []id.ID {
 	i := o.pos(lo)
-	j := sort.Search(len(o.index), func(k int) bool {
-		return hi.Less(o.index[k])
-	})
+	j := o.upperBound(hi, i, len(o.index))
 	if i >= j {
 		return nil
 	}
@@ -296,17 +320,23 @@ func (o *Overlay) fillRoutingTable(node *Node) {
 		// Population of the block sharing `row` digits with the node.
 		blockLo := node.ref.ID.PrefixFloor(row * o.cfg.B)
 		blockHi := node.ref.ID.PrefixCeil(row * o.cfg.B)
-		if len(o.rangeMembers(blockLo, blockHi)) <= 1 {
+		blockStart := o.pos(blockLo)
+		blockEnd := o.upperBound(blockHi, blockStart, len(o.index))
+		if blockEnd-blockStart <= 1 {
 			break
 		}
+		// The 2^b digit sub-blocks tile [blockLo, blockHi] in order, so
+		// each block's end boundary is the next one's start: one search
+		// per digit, over an ever-narrowing window, instead of two
+		// full-index searches per digit.
 		own := node.ref.ID.Digit(row, o.cfg.B)
+		start := blockStart
 		for d := 0; d < 1<<o.cfg.B; d++ {
-			if d == own {
-				continue
-			}
-			lo, hi := node.ref.ID.DigitRange(row, o.cfg.B, d)
-			members := o.rangeMembers(lo, hi)
-			if len(members) == 0 {
+			_, hi := node.ref.ID.DigitRange(row, o.cfg.B, d)
+			end := o.upperBound(hi, start, blockEnd)
+			members := o.index[start:end]
+			start = end
+			if d == own || len(members) == 0 {
 				continue
 			}
 			node.RT.Set(row, d, o.pickBySlot(node, members))

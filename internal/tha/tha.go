@@ -31,6 +31,34 @@ type Anchor struct {
 	HopID  id.ID
 	Key    crypt.Key
 	PWHash crypt.PasswordHash
+
+	// sealer caches the layer-crypto key schedule for Key. Deploy installs
+	// an empty cell, so every copy of the record handed out by the replica
+	// store — anchors are passed by value — shares one schedule and a hop
+	// node pays the subkey derivation once per anchor, not once per
+	// message. The schedule itself is derived lazily on first use: most
+	// deployed anchors never seal a message (availability and corruption
+	// experiments deploy hundreds of thousands), so deployment must not
+	// pay AES/HMAC setup. It is node-local state, never serialized:
+	// WireSize excludes it. Like the rest of the simulator it assumes
+	// single-goroutine use.
+	sealer *sealerCell
+}
+
+// sealerCell is the shared, lazily-filled key-schedule slot.
+type sealerCell struct{ s *crypt.Sealer }
+
+// Sealer returns the anchor's cached key schedule, deriving it on first
+// use. Anchors that never passed through Deploy (hand-built test values)
+// get an uncached throwaway schedule.
+func (a Anchor) Sealer() *crypt.Sealer {
+	if a.sealer != nil {
+		if a.sealer.s == nil {
+			a.sealer.s = crypt.NewSealer(a.Key)
+		}
+		return a.sealer.s
+	}
+	return crypt.NewSealer(a.Key)
 }
 
 // WireSize is the encoded anchor size used for network-cost accounting
@@ -143,6 +171,9 @@ func (d *Directory) Deploy(a Anchor, nonce uint64) error {
 			return fmt.Errorf("%w: %v", ErrPuzzleRequired, err)
 		}
 	}
+	// Install the key-schedule cell all replica copies will share; the
+	// schedule is derived on the first message this anchor processes.
+	a.sealer = &sealerCell{}
 	if err := d.mgr.Insert(a.HopID, a); err != nil {
 		return fmt.Errorf("tha: deploy: %w", err)
 	}
