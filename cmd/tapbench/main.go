@@ -83,13 +83,14 @@ var defaultGroups = []group{
 
 func main() {
 	var (
-		groupsFlag = flag.String("groups", "hot,micro,figures", "comma-separated groups to run (hot, micro, figures)")
-		only       = flag.String("only", "", "extra regex ANDed onto each group's benchmark pattern")
-		out        = flag.String("out", "", "write the JSON report to this file (default: stdout)")
-		baseline   = flag.String("baseline", "", "compare against this previously captured JSON report")
-		quick      = flag.Bool("quick", false, "force -benchtime=1x -count=1 for every group (CI smoke mode)")
-		pkgs       = flag.String("pkgs", "./...", "package pattern handed to go test")
-		maxRegress = flag.Float64("max-regress", 0, "exit non-zero if any ns/op regresses more than this percent vs -baseline (0 = report only)")
+		groupsFlag      = flag.String("groups", "hot,micro,figures", "comma-separated groups to run (hot, micro, figures)")
+		only            = flag.String("only", "", "extra regex ANDed onto each group's benchmark pattern")
+		out             = flag.String("out", "", "write the JSON report to this file (default: stdout)")
+		baseline        = flag.String("baseline", "", "compare against this previously captured JSON report")
+		quick           = flag.Bool("quick", false, "force -benchtime=1x -count=1 for every group (CI smoke mode)")
+		pkgs            = flag.String("pkgs", "./...", "package pattern handed to go test")
+		maxRegress      = flag.Float64("max-regress", 0, "exit non-zero if any ns/op regresses more than this percent vs -baseline (0 = report only)")
+		maxAllocRegress = flag.Float64("max-alloc-regress", 0, "exit non-zero if any allocs/op regresses more than this percent vs -baseline (0 = report only)")
 	)
 	flag.Parse()
 
@@ -142,7 +143,7 @@ func main() {
 	}
 
 	if *baseline != "" {
-		regressed, err := compare(*baseline, rep, *maxRegress)
+		regressed, err := compare(*baseline, rep, *maxRegress, *maxAllocRegress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tapbench: compare: %v\n", err)
 			os.Exit(1)
@@ -257,8 +258,12 @@ func parseBenchLine(line string) (Result, bool) {
 }
 
 // compare prints a delta table against a baseline report and returns
-// whether any benchmark regressed beyond maxRegress percent (when set).
-func compare(path string, cur Report, maxRegress float64) (bool, error) {
+// whether any benchmark regressed beyond maxRegress percent on ns/op or
+// maxAllocRegress percent on allocs/op (each gate active only when set).
+// The alloc gate uses an absolute slack of one allocation: a 0->1 or 1->2
+// step on a nearly alloc-free benchmark is always a regression worth
+// failing, while percentage math alone would divide by zero or flag noise.
+func compare(path string, cur Report, maxRegress, maxAllocRegress float64) (bool, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return false, err
@@ -284,6 +289,16 @@ func compare(path string, cur Report, maxRegress float64) (bool, error) {
 		if maxRegress > 0 && d > maxRegress {
 			fmt.Printf("  ^ regression beyond -max-regress=%.1f%%\n", maxRegress)
 			regressed = true
+		}
+		if maxAllocRegress > 0 && r.AllocsPerOp > b.AllocsPerOp+0.5 {
+			da := 100.0
+			if b.AllocsPerOp > 0 {
+				da = (r.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp * 100
+			}
+			if da > maxAllocRegress {
+				fmt.Printf("  ^ allocs/op regression %+.1f%% beyond -max-alloc-regress=%.1f%%\n", da, maxAllocRegress)
+				regressed = true
+			}
 		}
 	}
 	return regressed, nil

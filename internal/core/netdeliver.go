@@ -49,6 +49,19 @@ type NetEngine struct {
 	PacketsLost   uint64 // reliable-flow packets that died mid-flight
 	StaleHints    uint64 // distinct hints invalidated
 
+	// OnDeliver, when non-nil, observes every data arrival at a flow's
+	// terminal: dup=false is the first delivery handed to the application,
+	// dup=true a suppressed duplicate. The simulation checker counts these
+	// to verify exactly-once delivery under retransmission.
+	OnDeliver func(flow uint64, dup bool)
+
+	// DisableAckDedup is a fault-injection seam in the spirit of
+	// Service.HopFilter: when set, the terminal forgets it already
+	// delivered a reliable flow and hands every duplicate arrival to the
+	// application as if it were fresh. The simulation checker plants it to
+	// prove the exactly-once invariant fires. Never set it otherwise.
+	DisableAckDedup bool
+
 	// Tap, when non-nil, observes the protocol events a node operator
 	// can see at its own node: tunnel envelopes received, and exits
 	// performed (a tail hop knows it is the tail — it decrypts {D, m}).
@@ -206,6 +219,8 @@ func (e *NetEngine) finish(self simnet.Addr, p *packet, delivered bool, why stri
 			// A duplicate of an already-ACKed delivery: the earlier ACK
 			// may have been lost, so re-ACK, but never re-deliver.
 			e.DupDeliveries++
+			// With dedup sabotaged the duplicate is (wrongly) fresh.
+			e.observeDeliver(p.flow, !e.DisableAckDedup)
 			e.sendAck(self, p.flow, rec)
 			return
 		}
@@ -214,7 +229,9 @@ func (e *NetEngine) finish(self simnet.Addr, p *packet, delivered bool, why stri
 		return // duplicate or late packet of a finished flow
 	}
 	delete(e.pending, p.flow)
-	if !delivered {
+	if delivered {
+		e.observeDeliver(p.flow, false)
+	} else {
 		e.FailFlows++
 	}
 	cb, ok := e.done[p.flow]
@@ -425,6 +442,25 @@ func (e *NetEngine) SendForward(from simnet.Addr, env *Envelope, done func(Outco
 	p := &packet{kind: kindForward, flow: flow, target: env.HopID, env: env}
 	e.dispatch(from, p, env.Hint)
 	return flow
+}
+
+// WireBytes returns the byte slices a tunnel-protocol message actually
+// exposes on the wire, for taps that scan frames for plaintext leaks (the
+// no-plaintext-on-wire invariant). Payload packets carry only a size,
+// ACKs only a hop count; neither exposes bytes. Non-protocol messages
+// return nil.
+func WireBytes(msg simnet.Message) [][]byte {
+	p, ok := msg.(*packet)
+	if !ok {
+		return nil
+	}
+	switch p.kind {
+	case kindForward:
+		return [][]byte{p.env.Sealed}
+	case kindReply:
+		return [][]byte{p.renv.Onion, p.renv.Data}
+	}
+	return nil
 }
 
 // SendReply starts a reply-tunnel transfer from the responder's address.

@@ -209,14 +209,23 @@ func (e *NetEngine) exhaust(flow uint64, st *flowState) {
 // arrives while the flow is still pending: record the delivery (so
 // duplicates are suppressed) and ACK the origin.
 func (e *NetEngine) ackDelivery(self simnet.Addr, p *packet) {
-	if rec, ok := e.acked[p.flow]; ok {
+	if rec, ok := e.acked[p.flow]; ok && !e.DisableAckDedup {
 		e.DupDeliveries++
+		e.observeDeliver(p.flow, true)
 		e.sendAck(self, p.flow, rec)
 		return
 	}
 	rec := ackRecord{to: p.ackTo, dataHops: p.hops}
 	e.acked[p.flow] = rec
+	e.observeDeliver(p.flow, false)
 	e.sendAck(self, p.flow, rec)
+}
+
+// observeDeliver fires the terminal-delivery observer, when installed.
+func (e *NetEngine) observeDeliver(flow uint64, dup bool) {
+	if e.OnDeliver != nil {
+		e.OnDeliver(flow, dup)
+	}
 }
 
 // sendAck transmits the end-to-end ACK over the overt path.

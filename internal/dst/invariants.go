@@ -1,0 +1,168 @@
+package dst
+
+import (
+	"fmt"
+
+	"tap/internal/simnet"
+)
+
+// Checker is one registered runtime invariant. AfterEvent runs right
+// after every applied schedule event; AtQuiescence runs once the kernel
+// drains. Either may be nil. The no-plaintext invariant is not listed
+// here — it is a wire tap installed in build() that fires synchronously
+// on the offending frame — but it reports violations under the same
+// naming scheme.
+type Checker struct {
+	Name         string
+	Doc          string
+	AfterEvent   func(r *runner) (string, bool)
+	AtQuiescence func(r *runner) (string, bool)
+}
+
+// Checkers returns the invariant registry, in evaluation order. The
+// order is part of the deterministic-replay contract: the first
+// violating checker wins, every run.
+func Checkers() []Checker {
+	return []Checker{
+		{
+			Name: "tha-replication",
+			Doc: "every surviving hop anchor is stored on exactly the k " +
+				"live nodes numerically closest to its hopid, in oracle order (§3)",
+			AfterEvent:   checkTHAReplication,
+			AtQuiescence: checkTHAReplication,
+		},
+		{
+			Name: "leafset",
+			Doc: "every live node's leaf set matches the oracle's ring " +
+				"neighborhood and routing tables respect their slot constraints",
+			AfterEvent:   checkLeafSet,
+			AtQuiescence: checkLeafSet,
+		},
+		{
+			Name: "no-plaintext",
+			Doc: "no frame on the wire exposes payload bytes outside a " +
+				"sealed layer (checked per transmission by a wire tap)",
+		},
+		{
+			Name: "tunnel-liveness",
+			Doc: "every reliable flow resolves, and — in loss-free runs — a " +
+				"flow through a tunnel whose anchors all survived is delivered (§6 hop takeover)",
+			AtQuiescence: checkTunnelLiveness,
+		},
+		{
+			Name: "exactly-once",
+			Doc: "a flow's terminal delivers it to the application at most " +
+				"once and its outcome callback fires at most once, despite retransmission",
+			AtQuiescence: checkExactlyOnce,
+		},
+	}
+}
+
+// runCheckers evaluates the registry at one point (event index, or -1 at
+// quiescence) and records the first violation.
+func (r *runner) runCheckers(event int, quiescence bool) {
+	for _, c := range Checkers() {
+		fn := c.AfterEvent
+		if quiescence {
+			fn = c.AtQuiescence
+		}
+		if fn == nil {
+			continue
+		}
+		if msg, bad := fn(r); bad {
+			r.violate(c.Name, msg)
+			return
+		}
+	}
+}
+
+// checkTHAReplication compares every tracked anchor's replica list with
+// the oracle's k-closest set, elementwise and in order. Anchors with no
+// surviving replica are legitimately lost (the "all k failed
+// simultaneously" case) and skipped. Iteration follows first-deployment
+// order, so the first violation is stable across replays.
+func checkTHAReplication(r *runner) (string, bool) {
+	for _, key := range r.anchors {
+		if !r.dir.Available(key) {
+			continue
+		}
+		reps := r.mgr.Replicas(key)
+		want := r.ov.ReplicaSet(key, r.mgr.K())
+		if len(reps) != len(want) {
+			return fmt.Sprintf("anchor %s has %d replicas, oracle wants %d",
+				key.Short(), len(reps), len(want)), true
+		}
+		for i, n := range want {
+			if reps[i] != simnet.Addr(n.Addr()) {
+				return fmt.Sprintf("anchor %s replica[%d] at addr %d, oracle wants addr %d",
+					key.Short(), i, reps[i], n.Addr()), true
+			}
+		}
+	}
+	return "", false
+}
+
+// checkLeafSet delegates to the overlay's structural invariants, which
+// iterate the sorted live index — deterministic messages for free.
+func checkLeafSet(r *runner) (string, bool) {
+	if err := r.ov.CheckInvariants(); err != nil {
+		return err.Error(), true
+	}
+	return "", false
+}
+
+// checkTunnelLiveness verifies at quiescence that (a) every reliable
+// flow resolved — delivered or exhausted — and (b) in loss-free runs,
+// every flow whose tunnel remained functional (each hop anchor kept a
+// live replica; anchors never resurrect, so functional-at-end implies
+// functional throughout) was delivered. Under packet loss (b) is
+// undecidable — an honest retransmit budget can exhaust — so it is
+// skipped there.
+func checkTunnelLiveness(r *runner) (string, bool) {
+	for _, flow := range r.flowOrder() {
+		if r.flows[flow].outcomes == 0 {
+			return fmt.Sprintf("flow %d never resolved (no delivery, no exhaust)", flow), true
+		}
+	}
+	if r.sc.Loss > 0 {
+		return "", false
+	}
+	for _, flow := range r.flowOrder() {
+		rec := r.flows[flow]
+		if rec.outcome.Delivered {
+			continue
+		}
+		functional := true
+		for _, h := range rec.tunnel.Hops {
+			if !r.dir.Available(h.HopID) {
+				functional = false
+				break
+			}
+		}
+		if functional {
+			return fmt.Sprintf("flow %d failed (%s) though every hop anchor kept a live replica",
+				flow, rec.outcome.FailedAt), true
+		}
+	}
+	return "", false
+}
+
+// checkExactlyOnce verifies the delivery-count discipline per flow. The
+// OnDeliver hook also fires this check synchronously at the offending
+// arrival; this quiescence pass is the backstop that additionally ties
+// delivery counts to outcomes.
+func checkExactlyOnce(r *runner) (string, bool) {
+	for _, flow := range r.flowOrder() {
+		rec := r.flows[flow]
+		if rec.fresh > 1 {
+			return fmt.Sprintf("flow %d delivered fresh to the terminal %d times", flow, rec.fresh), true
+		}
+		if rec.outcomes > 1 {
+			return fmt.Sprintf("flow %d fired its outcome callback %d times", flow, rec.outcomes), true
+		}
+		if rec.outcomes == 1 && rec.outcome.Delivered && rec.fresh == 0 {
+			return fmt.Sprintf("flow %d reported delivered but its terminal never saw data", flow), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,127 @@
+package dst
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mutationCase pairs a planted bug with the checker that must catch it.
+type mutationCase struct {
+	name    string
+	mut     Mutations
+	profile Profile
+	checker string
+}
+
+func mutationCases() []mutationCase {
+	return []mutationCase{
+		{"skip-migration", Mutations{SkipMigration: true}, ProfileStorage, "tha-replication"},
+		{"corrupt-leaf", Mutations{CorruptLeaf: true}, ProfileMembership, "leafset"},
+		{"drop-onion-layer", Mutations{DropOnionLayer: true}, ProfileFull, "tunnel-liveness"},
+		{"leak-payload", Mutations{LeakPayload: true}, ProfileFull, "no-plaintext"},
+		{"disable-ack-dedup", Mutations{DisableAckDedup: true}, ProfileFull, "exactly-once"},
+	}
+}
+
+// mutationSeedBudget bounds how many generated seeds a planted bug may
+// take to trip its checker. The weakest plant (disable-ack-dedup, which
+// needs a lossy seed whose retransmit duplicates actually land) fires
+// within the first 5 seeds; 20 leaves headroom against generator drift.
+const mutationSeedBudget = 20
+
+// firstFiringSeed scans the seed budget for the first seed on which the
+// plant trips its designated checker, failing the test if any seed trips
+// a *different* checker first (a cross-firing plant means the checker
+// attribution is wrong).
+func firstFiringSeed(t *testing.T, c mutationCase) uint64 {
+	t.Helper()
+	for seed := uint64(1); seed <= mutationSeedBudget; seed++ {
+		res := Run(Gen(seed, c.profile), c.mut)
+		if res.Err != nil {
+			t.Fatalf("seed %d: infrastructure error: %v", seed, res.Err)
+		}
+		if res.Violation == nil {
+			continue
+		}
+		if res.Violation.Checker != c.checker {
+			t.Fatalf("seed %d: plant %s tripped checker %s, want %s: %s",
+				seed, c.name, res.Violation.Checker, c.checker, res.Violation.Msg)
+		}
+		return seed
+	}
+	t.Fatalf("plant %s never tripped %s within %d seeds", c.name, c.checker, mutationSeedBudget)
+	return 0
+}
+
+// TestMutationsCaught is the checker self-test: every planted bug must
+// make its matching invariant fire within the seed budget, and the honest
+// (unmutated) replay of the same scenario must stay clean — proving the
+// checker reacts to the bug, not to the scenario.
+func TestMutationsCaught(t *testing.T) {
+	for _, c := range mutationCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			seed := firstFiringSeed(t, c)
+			sc := Gen(seed, c.profile)
+			honest := Run(sc, Mutations{})
+			if honest.Violation != nil {
+				t.Fatalf("seed %d: honest run of the firing scenario violated %s: %s",
+					seed, honest.Violation.Checker, honest.Violation.Msg)
+			}
+		})
+	}
+}
+
+// TestMutationShrinks runs the shrinker on each plant's first firing
+// scenario: the shrunk schedule must stay under the counterexample size
+// bound, still trip the same checker, and replay deterministically.
+func TestMutationShrinks(t *testing.T) {
+	const maxShrunkEvents = 25
+	for _, c := range mutationCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			seed := firstFiringSeed(t, c)
+			sr := Shrink(Gen(seed, c.profile), c.mut, 0)
+			if sr.Violation == nil {
+				t.Fatalf("shrink lost the violation")
+			}
+			if sr.Violation.Checker != c.checker {
+				t.Fatalf("shrunk violation moved to checker %s, want %s", sr.Violation.Checker, c.checker)
+			}
+			if got := len(sr.Scenario.Events); got > maxShrunkEvents {
+				t.Fatalf("shrunk schedule has %d events, want <= %d (from %d)",
+					got, maxShrunkEvents, sr.Original)
+			}
+			if len(sr.Scenario.Events) >= sr.Original && sr.Original > 1 {
+				t.Fatalf("shrinker removed nothing (%d events)", sr.Original)
+			}
+			// The shrunk scenario replays to the identical violation.
+			again := Run(sr.Scenario, c.mut)
+			if !reflect.DeepEqual(again.Violation, sr.Violation) {
+				t.Fatalf("shrunk replay diverged:\n%+v\n%+v", again.Violation, sr.Violation)
+			}
+		})
+	}
+}
+
+// TestMutationTraceRoundTrip dumps a shrunk counterexample to its trace
+// JSON, reloads it, and replays the reloaded scenario — the full
+// tapcheck artifact cycle.
+func TestMutationTraceRoundTrip(t *testing.T) {
+	c := mutationCases()[0]
+	seed := firstFiringSeed(t, c)
+	sr := Shrink(Gen(seed, c.profile), c.mut, 0)
+	tr := NewTrace(sr)
+	blob, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTrace(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(back.Scenario, c.mut)
+	if !reflect.DeepEqual(res.Violation, sr.Violation) {
+		t.Fatalf("trace replay diverged:\n%+v\n%+v", res.Violation, sr.Violation)
+	}
+}

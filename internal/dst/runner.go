@@ -1,0 +1,492 @@
+package dst
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"tap/internal/core"
+	"tap/internal/id"
+	"tap/internal/past"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+	"tap/internal/tha"
+)
+
+// Canary is the plaintext marker every dst payload starts with: the
+// no-plaintext-on-wire checker scans each frame's exposed bytes for it.
+// Sixteen bytes make an accidental match in honest ciphertext
+// negligible (~2^-128 per position).
+var Canary = []byte("TAP-DST-CANARY!!")
+
+// Mutations are deliberately planted bugs. Each checker's mutation
+// self-test proves the checker fires on its bug within a bounded seed
+// budget; a checker that cannot catch its plant is itself broken.
+type Mutations struct {
+	// SkipMigration disables replica migration on membership changes:
+	// the tha-replication invariant must notice replica sets drifting
+	// from the oracle.
+	SkipMigration bool
+	// CorruptLeaf empties one live node's leaf set after the first
+	// membership event: the leafset invariant must notice.
+	CorruptLeaf bool
+	// DropOnionLayer builds each forward message with one onion layer
+	// missing (the envelope is addressed to hop 0 but sealed for hop 1):
+	// the MAC fails at the first hop, every retransmission dies the same
+	// way, and the tunnel-liveness invariant must notice a functional
+	// tunnel that stopped delivering.
+	DropOnionLayer bool
+	// LeakPayload transmits the raw payload in place of the sealed
+	// onion: the no-plaintext invariant must see the canary on the wire.
+	LeakPayload bool
+	// DisableAckDedup makes terminals re-deliver duplicate arrivals as
+	// fresh: the exactly-once invariant must count more than one fresh
+	// delivery on some flow.
+	DisableAckDedup bool
+}
+
+// Violation is one invariant failure, attributed to the schedule event
+// during (or after) which it was detected. Event is -1 for violations
+// found at quiescence, after the schedule drained.
+type Violation struct {
+	Checker string      `json:"checker"`
+	Event   int         `json:"event"`
+	At      simnet.Time `json:"at"`
+	Msg     string      `json:"msg"`
+}
+
+func (v *Violation) String() string {
+	where := fmt.Sprintf("event %d", v.Event)
+	if v.Event < 0 {
+		where = "quiescence"
+	}
+	return fmt.Sprintf("[%s] at %s (t=%v): %s", v.Checker, where, v.At, v.Msg)
+}
+
+// Result reports one scenario execution.
+type Result struct {
+	Scenario  *Scenario
+	Violation *Violation // nil: all invariants held
+	Err       error      // infrastructure failure (not an invariant violation)
+
+	Delivered int    // flows that completed with delivery
+	Failed    int    // flows that resolved undelivered
+	Skipped   int    // schedule events inapplicable to current state
+	Steps     uint64 // kernel events executed
+}
+
+// reliabilityBudget is generous so every reliable flow resolves before
+// quiescence even under the worst generated loss rate.
+const reliabilityBudget = 12
+
+// minLiveFloor is the smallest live population failures may leave; it
+// keeps replica sets meaningful and the overlay far from its
+// refuse-to-kill-the-last-node edge.
+const minLiveFloor = 8
+
+type flowRec struct {
+	tunnel  *core.Tunnel
+	outcome core.Outcome
+	// outcomes counts completion callbacks (must be exactly 1); fresh
+	// and dup count terminal data arrivals by kind.
+	outcomes, fresh, dup int
+}
+
+type client struct {
+	in      *core.Initiator
+	tunnels []*core.Tunnel
+}
+
+// runner is the per-execution world state.
+type runner struct {
+	sc  *Scenario
+	mut Mutations
+
+	root    *rng.Stream
+	traffic *rng.Stream
+	kernel  *simnet.Kernel
+	net     *simnet.Network
+	ov      *pastry.Overlay
+	mgr     *past.Manager
+	dir     *tha.Directory
+	svc     *core.Service
+	eng     *core.NetEngine
+
+	clients   []*client
+	protected map[simnet.Addr]bool
+
+	// anchors lists every deployed hopid in first-replication order — a
+	// deterministic iteration order for the tha-replication checker
+	// (Manager's own maps iterate nondeterministically).
+	anchors    []id.ID
+	anchorSeen map[id.ID]struct{}
+
+	flows map[uint64]*flowRec
+
+	lastEvent     int
+	violation     *Violation
+	skipped       int
+	payloadSeq    uint64
+	leafCorrupted bool
+}
+
+// Run executes the scenario with the given planted bugs (zero Mutations
+// for an honest run) and reports the first invariant violation, if any.
+// It is deterministic: equal inputs produce equal Results field by field.
+func Run(sc *Scenario, mut Mutations) *Result {
+	r := &runner{
+		sc: sc, mut: mut,
+		root:       rng.New(sc.Seed),
+		protected:  make(map[simnet.Addr]bool),
+		anchorSeen: make(map[id.ID]struct{}),
+		flows:      make(map[uint64]*flowRec),
+		lastEvent:  -1,
+	}
+	r.traffic = r.root.Split("traffic")
+	res := &Result{Scenario: sc}
+
+	if err := r.build(); err != nil {
+		res.Err = err
+		return res
+	}
+	for i, ev := range sc.Events {
+		i, ev := i, ev
+		r.kernel.At(ev.At, func() {
+			if r.violation != nil {
+				return
+			}
+			r.lastEvent = i
+			r.apply(ev)
+			if r.violation == nil {
+				r.runCheckers(i, false)
+			}
+			if r.violation != nil {
+				r.kernel.Stop()
+			}
+		})
+	}
+	if err := r.kernel.Run(); err != nil {
+		res.Err = fmt.Errorf("dst: seed %d: %w", sc.Seed, err)
+		return res
+	}
+	if r.violation == nil {
+		r.lastEvent = -1
+		r.runCheckers(-1, true)
+	}
+
+	res.Violation = r.violation
+	res.Skipped = r.skipped
+	res.Steps = r.kernel.Steps()
+	for _, flow := range r.flowOrder() {
+		rec := r.flows[flow]
+		if rec.outcomes > 0 && rec.outcome.Delivered {
+			res.Delivered++
+		} else if rec.outcomes > 0 {
+			res.Failed++
+		}
+	}
+	return res
+}
+
+// build assembles the world: overlay, storage, directory, network,
+// engine, fault plan, reorder hook, wire tap, and clients.
+func (r *runner) build() error {
+	sc := r.sc
+	ov, err := pastry.Build(pastry.DefaultConfig(), sc.Nodes, r.root.Split("overlay"))
+	if err != nil {
+		return fmt.Errorf("dst: building overlay: %w", err)
+	}
+	r.ov = ov
+	r.mgr = past.NewManager(ov, sc.K)
+	r.mgr.DisableMigration = r.mut.SkipMigration
+	r.mgr.OnReplicate = func(key id.ID, addr simnet.Addr) {
+		if _, ok := r.anchorSeen[key]; !ok {
+			r.anchorSeen[key] = struct{}{}
+			r.anchors = append(r.anchors, key)
+		}
+	}
+	r.dir = tha.NewDirectory(ov, r.mgr)
+	r.svc = core.NewService(ov, r.dir, r.root.Split("svc"))
+
+	r.kernel = simnet.NewKernel()
+	r.kernel.MaxSteps = 20_000_000
+	r.net = simnet.NewNetwork(r.kernel, simnet.DefaultLinkModel(sc.Seed), ov.NumAddrs())
+	r.svc.Net = r.net
+	r.eng = core.NewNetEngine(r.svc, r.net)
+	r.eng.EnableReliability(core.Reliability{MaxAttempts: reliabilityBudget})
+	r.eng.DisableAckDedup = r.mut.DisableAckDedup
+	r.eng.OnDeliver = func(flow uint64, dup bool) {
+		rec, ok := r.flows[flow]
+		if !ok {
+			return
+		}
+		if dup {
+			rec.dup++
+			return
+		}
+		if rec.fresh >= 1 {
+			r.violate("exactly-once", fmt.Sprintf(
+				"flow %d delivered fresh to the terminal %d times", flow, rec.fresh+1))
+		}
+		rec.fresh++
+	}
+
+	if sc.Loss > 0 || sc.Spike > 0 {
+		r.net.InstallFaults(&simnet.FaultPlan{
+			Seed:      r.root.Split("faults").Seed(),
+			LossRate:  sc.Loss,
+			SpikeRate: sc.Spike,
+			SpikeMin:  50 * time.Millisecond,
+			SpikeMax:  400 * time.Millisecond,
+		})
+	}
+	if sc.Reorder > 0 && sc.ReorderMax > 0 {
+		reorder := r.root.Split("reorder")
+		r.net.ExtraDelay = func(src, dst simnet.Addr, msg simnet.Message) simnet.Time {
+			if reorder.Bool(sc.Reorder) {
+				return simnet.Time(reorder.Int63n(int64(sc.ReorderMax)))
+			}
+			return 0
+		}
+	}
+	r.net.SendHook = func(from, to simnet.Addr, msg simnet.Message) {
+		for _, b := range core.WireBytes(msg) {
+			if bytes.Contains(b, Canary) {
+				r.violate("no-plaintext", fmt.Sprintf(
+					"payload canary visible in a frame %d->%d (%d wire bytes)", from, to, len(b)))
+				return
+			}
+		}
+	}
+
+	pick := r.root.Split("clients")
+	for i := 0; i < sc.Clients; i++ {
+		node := ov.RandomLive(pick)
+		for r.protected[node.Ref().Addr] {
+			node = ov.RandomLive(pick)
+		}
+		in, err := core.NewInitiator(r.svc, node, r.root.SplitN("client", i))
+		if err != nil {
+			return fmt.Errorf("dst: client %d: %w", i, err)
+		}
+		r.protected[node.Ref().Addr] = true
+		r.clients = append(r.clients, &client{in: in})
+	}
+	return nil
+}
+
+// violate records the first violation; later ones are ignored (the world
+// may already be inconsistent). The kernel is stopped by the caller or
+// at the next scheduled event.
+func (r *runner) violate(checker, msg string) {
+	if r.violation != nil {
+		return
+	}
+	r.violation = &Violation{Checker: checker, Event: r.lastEvent, At: r.kernel.Now(), Msg: msg}
+	r.kernel.Stop()
+}
+
+// apply executes one schedule event. Events inapplicable to the current
+// state (dead victim, empty pool, no tunnels) skip cleanly so the
+// shrinker may remove arbitrary prefixes.
+func (r *runner) apply(ev Event) {
+	switch ev.Kind {
+	case EvJoin:
+		r.ov.Join()
+		r.afterMembership()
+	case EvFail:
+		addr := r.pickVictim(ev.Addr, 0)
+		if addr == simnet.NoAddr {
+			r.skipped++
+			return
+		}
+		if err := r.ov.Fail(addr); err != nil {
+			r.skipped++
+			return
+		}
+		r.net.Detach(addr)
+		r.afterMembership()
+	case EvBatchFail:
+		victims := make([]simnet.Addr, 0, len(ev.Addrs))
+		taken := make(map[simnet.Addr]bool)
+		for _, raw := range ev.Addrs {
+			addr := r.pickVictimExcluding(raw, len(victims), taken)
+			if addr == simnet.NoAddr {
+				continue
+			}
+			taken[addr] = true
+			victims = append(victims, addr)
+		}
+		if len(victims) == 0 {
+			r.skipped++
+			return
+		}
+		r.mgr.BeginBatch()
+		for _, addr := range victims {
+			if err := r.ov.Fail(addr); err == nil {
+				r.net.Detach(addr)
+			}
+		}
+		r.mgr.EndBatch()
+		r.afterMembership()
+	case EvDeploy:
+		c := r.client(ev.Client)
+		if c == nil {
+			r.skipped++
+			return
+		}
+		n := ev.N
+		if n <= 0 {
+			n = 2
+		}
+		if err := c.in.DeployDirect(n); err != nil {
+			// Deployment against a live overlay cannot fail honestly.
+			r.violate("infrastructure", fmt.Sprintf("deploy failed: %v", err))
+		}
+	case EvForm:
+		c := r.client(ev.Client)
+		if c == nil {
+			r.skipped++
+			return
+		}
+		l := ev.L
+		if l < 2 {
+			l = 2
+		}
+		if c.in.PoolSize() < l {
+			r.skipped++
+			return
+		}
+		t, err := c.in.FormTunnel(l)
+		if err != nil {
+			r.skipped++
+			return
+		}
+		c.tunnels = append(c.tunnels, t)
+	case EvSend:
+		c := r.client(ev.Client)
+		if c == nil || len(c.tunnels) == 0 {
+			r.skipped++
+			return
+		}
+		r.send(c, c.tunnels[ev.T%len(c.tunnels)], ev)
+	default:
+		r.skipped++
+	}
+}
+
+// afterMembership applies the CorruptLeaf plant once, immediately after
+// the first successful membership change.
+func (r *runner) afterMembership() {
+	if !r.mut.CorruptLeaf || r.leafCorrupted {
+		return
+	}
+	r.leafCorrupted = true
+	node := r.ov.RandomLive(r.root.Split("corrupt"))
+	node.Leaf.ReplaceAll(nil, nil)
+}
+
+func (r *runner) client(idx int) *client {
+	if len(r.clients) == 0 {
+		return nil
+	}
+	return r.clients[idx%len(r.clients)]
+}
+
+// pickVictim resolves a raw selector to a live, unprotected victim by
+// scanning the address space from raw mod NumAddrs. pending counts kills
+// already chosen in the same batch; the live floor accounts for them.
+func (r *runner) pickVictim(raw uint64, pending int) simnet.Addr {
+	return r.pickVictimExcluding(raw, pending, nil)
+}
+
+func (r *runner) pickVictimExcluding(raw uint64, pending int, taken map[simnet.Addr]bool) simnet.Addr {
+	floor := minLiveFloor
+	if f := r.sc.K + r.sc.Clients + 2; f > floor {
+		floor = f
+	}
+	if r.ov.Size()-pending <= floor {
+		return simnet.NoAddr
+	}
+	n := r.ov.NumAddrs()
+	start := int(raw % uint64(n))
+	for i := 0; i < n; i++ {
+		addr := simnet.Addr((start + i) % n)
+		node := r.ov.Node(addr)
+		if node == nil || !node.Alive() || r.protected[addr] || (taken != nil && taken[addr]) {
+			continue
+		}
+		return addr
+	}
+	return simnet.NoAddr
+}
+
+// send starts one reliable forward flow, applying any traffic plants.
+func (r *runner) send(c *client, tun *core.Tunnel, ev Event) {
+	payload := r.payload(ev.Size)
+	var dest id.ID
+	r.traffic.Bytes(dest[:])
+
+	var env *core.Envelope
+	var err error
+	switch {
+	case r.mut.DropOnionLayer && tun.Length() >= 2:
+		// One layer short: sealed for the sub-tunnel starting at hop 1,
+		// but addressed to hop 0, which cannot authenticate it.
+		sub := &core.Tunnel{Hops: tun.Hops[1:]}
+		env, err = core.BuildForward(sub, nil, dest, payload, r.traffic)
+		if err == nil {
+			env.HopID = tun.Hops[0].HopID
+		}
+	case ev.Hints:
+		cache := core.NewHintCache()
+		// A partially refreshed cache (some hop lost) is still usable:
+		// missing entries fall back to DHT routing.
+		_ = cache.Refresh(r.svc, tun)
+		env, err = core.BuildForwardWithCache(tun, cache, dest, payload, r.traffic)
+	default:
+		env, err = core.BuildForward(tun, nil, dest, payload, r.traffic)
+	}
+	if err != nil {
+		r.skipped++
+		return
+	}
+	if r.mut.LeakPayload {
+		env.Sealed = append([]byte(nil), payload...)
+	}
+
+	rec := &flowRec{tunnel: tun}
+	flow := r.eng.SendForward(c.in.Node().Ref().Addr, env, func(o core.Outcome) {
+		rec.outcome = o
+		rec.outcomes++
+	})
+	r.flows[flow] = rec
+}
+
+// payload builds a canary-prefixed payload of at least size bytes.
+func (r *runner) payload(size int) []byte {
+	min := len(Canary) + 8
+	if size < min {
+		size = min
+	}
+	b := make([]byte, size)
+	copy(b, Canary)
+	binary.BigEndian.PutUint64(b[len(Canary):], r.payloadSeq)
+	r.payloadSeq++
+	r.traffic.Bytes(b[min:])
+	return b
+}
+
+// flowOrder returns flow ids in ascending order — the deterministic
+// iteration order for quiescence checkers.
+func (r *runner) flowOrder() []uint64 {
+	out := make([]uint64, 0, len(r.flows))
+	for f := range r.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,127 @@
+package dst
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ShrinkResult is a minimized counterexample: the smallest event
+// schedule found that still reproduces the original violation's checker,
+// plus the violation it produces and the run budget consumed.
+type ShrinkResult struct {
+	Scenario  *Scenario
+	Violation *Violation
+	Original  int // events in the unshrunk schedule
+	Runs      int // scenario executions spent shrinking
+}
+
+// DefaultShrinkRuns bounds the executions one shrink may spend. Each run
+// is a full deterministic replay, typically milliseconds.
+const DefaultShrinkRuns = 400
+
+// Shrink minimizes sc's event schedule while the violation keeps
+// reproducing, using greedy delta debugging: remove chunks of the
+// schedule (halving the chunk size down to 1) and keep any removal that
+// still trips the same checker, iterating the single-event pass to a
+// fixpoint. The result is 1-minimal modulo the run budget: removing any
+// single remaining event stops the violation from reproducing.
+//
+// Shrinking is deterministic — every candidate replays from scratch from
+// the scenario seed — so the returned schedule reproduces its violation
+// byte-identically on replay.
+func Shrink(sc *Scenario, mut Mutations, maxRuns int) ShrinkResult {
+	if maxRuns <= 0 {
+		maxRuns = DefaultShrinkRuns
+	}
+	res := ShrinkResult{Scenario: sc, Original: len(sc.Events), Runs: 1}
+	first := Run(sc, mut)
+	res.Violation = first.Violation
+	if first.Violation == nil {
+		return res
+	}
+	want := first.Violation.Checker
+
+	cur := sc.Events
+	curV := first.Violation
+	try := func(events []Event) *Violation {
+		if res.Runs >= maxRuns {
+			return nil
+		}
+		res.Runs++
+		out := Run(sc.WithEvents(events), mut)
+		if out.Violation != nil && out.Violation.Checker == want {
+			return out.Violation
+		}
+		return nil
+	}
+
+	chunk := (len(cur) + 1) / 2
+	for chunk >= 1 && res.Runs < maxRuns {
+		removed := false
+		for start := 0; start < len(cur) && res.Runs < maxRuns; {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Event, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if v := try(cand); v != nil {
+				cur, curV = cand, v
+				removed = true
+				// Do not advance: the next chunk slid into this slot.
+			} else {
+				start = end
+			}
+		}
+		if chunk > 1 {
+			chunk = (chunk + 1) / 2
+		} else if !removed {
+			break // 1-minimal: no single event can be removed
+		}
+	}
+	res.Scenario = sc.WithEvents(cur)
+	res.Violation = curV
+	return res
+}
+
+// Trace is the replayable artifact cmd/tapcheck dumps for a violation.
+type Trace struct {
+	Seed      uint64     `json:"seed"`
+	Profile   Profile    `json:"profile"`
+	Violation *Violation `json:"violation"`
+	// OriginalEvents is the schedule length before shrinking; Scenario
+	// holds the shrunk schedule that still reproduces the violation.
+	OriginalEvents int       `json:"original_events"`
+	Scenario       *Scenario `json:"scenario"`
+}
+
+// NewTrace packages a shrink result for dumping.
+func NewTrace(sr ShrinkResult) *Trace {
+	return &Trace{
+		Seed:           sr.Scenario.Seed,
+		Profile:        sr.Scenario.Profile,
+		Violation:      sr.Violation,
+		OriginalEvents: sr.Original,
+		Scenario:       sr.Scenario,
+	}
+}
+
+// JSON renders the trace deterministically (fixed field order, no
+// timestamps): equal violations produce byte-equal trace files.
+func (t *Trace) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("dst: encoding trace: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeTrace parses a dumped trace.
+func DecodeTrace(b []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("dst: decoding trace: %w", err)
+	}
+	return &t, nil
+}

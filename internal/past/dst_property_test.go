@@ -1,0 +1,44 @@
+package past_test
+
+import (
+	"testing"
+
+	"tap/internal/dst"
+)
+
+// TestPropInsertPlacement is the dst-scenario port of the old
+// testing/quick placement property. The storage profile interleaves
+// anchor deployments (each an Insert through the THA directory) with
+// joins, failures and batch failures, and the dst tha-replication
+// checker re-verifies after every event that each surviving key's
+// replica list equals the oracle's k-closest set elementwise — strictly
+// stronger than the quick version, which only checked placement at
+// insert time on a static overlay.
+//
+// This lives in an external test package because dst imports past.
+func TestPropInsertPlacement(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		sc := dst.Gen(seed, dst.ProfileStorage)
+		deploys := 0
+		for _, ev := range sc.Events {
+			if ev.Kind == dst.EvDeploy {
+				deploys++
+			}
+		}
+		if deploys == 0 {
+			t.Fatalf("seed %d: storage scenario schedules no deployments", seed)
+		}
+		res := dst.Run(sc, dst.Mutations{})
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("seed %d: replica placement diverged from the oracle: %s\nreplay: tapcheck -seed %d -profile storage",
+				seed, res.Violation, seed)
+		}
+	}
+}

@@ -80,6 +80,13 @@ type Manager struct {
 	// it: an anchor leaks the moment any colluding node receives a copy,
 	// and the leak is permanent.
 	OnReplicate func(key id.ID, addr simnet.Addr)
+
+	// DisableMigration is a fault-injection seam in the spirit of
+	// core.Service.HopFilter: when set, membership changes no longer
+	// trigger replica migration, so replica sets drift away from the
+	// oracle. The simulation checker plants it to prove its replication
+	// invariant actually fires. Never set it in a real deployment path.
+	DisableMigration bool
 }
 
 // NewManager wires a manager with replication factor k to the overlay's
@@ -218,6 +225,9 @@ func (m *Manager) HolderHas(addr simnet.Addr, key id.ID) bool {
 // onJoin moves replicas onto a joiner that entered some keys' replica
 // sets, and evicts the displaced holders.
 func (m *Manager) onJoin(n *pastry.Node) {
+	if m.DisableMigration {
+		return
+	}
 	if m.batch {
 		// Joins inside a batch are deferred with the leaves and settled at
 		// EndBatch, after the dust clears.
@@ -249,6 +259,9 @@ func (m *Manager) onJoin(n *pastry.Node) {
 // onLeave restores the replication factor for every key the departed node
 // held.
 func (m *Manager) onLeave(r pastry.NodeRef) {
+	if m.DisableMigration {
+		return
+	}
 	if m.batch {
 		m.batchDead = append(m.batchDead, r)
 		return

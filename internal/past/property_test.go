@@ -9,41 +9,9 @@ import (
 	"tap/internal/rng"
 )
 
-// Property: after any insert, the replica list length is min(k, live
-// population) and replicas are exactly the oracle's k closest.
-func TestPropInsertPlacement(t *testing.T) {
-	ov, err := pastry.Build(pastry.DefaultConfig(), 60, rng.New(61))
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := NewManager(ov, 4)
-	f := func(raw [20]byte) bool {
-		key := id.ID(raw)
-		if _, dup := m.entries[key]; dup {
-			return true
-		}
-		if err := m.Insert(key, "v"); err != nil {
-			return false
-		}
-		reps := m.Replicas(key)
-		if len(reps) != 4 {
-			return false
-		}
-		want := ov.ReplicaSet(key, 4)
-		for i := range want {
-			if reps[i] != want[i].Ref().Addr {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-	if err := m.CheckInvariants(); err != nil {
-		t.Fatal(err)
-	}
-}
+// The insert-placement property moved to dst_property_test.go, where it
+// runs on dst storage scenarios with per-event oracle comparison under
+// churn.
 
 // Property: Lookup finds exactly the keys that were inserted and not
 // deleted, across random interleavings.

@@ -1,0 +1,39 @@
+package pastry_test
+
+import (
+	"testing"
+
+	"tap/internal/dst"
+)
+
+// TestPropChurnPreservesInvariants is the dst-scenario port of the old
+// testing/quick churn property. The membership profile drives joins,
+// single failures and correlated batch failures from a seeded schedule,
+// and the dst leafset checker re-verifies Overlay.CheckInvariants after
+// every event — strictly stronger than the quick version, which checked
+// once after the whole op sequence and never exercised batch failures.
+// (Data-path routing vs the oracle is covered separately by
+// TestPropRouteMatchesOracle.)
+//
+// This lives in an external test package because dst imports pastry.
+func TestPropChurnPreservesInvariants(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	applied := 0
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		res := dst.Run(dst.Gen(seed, dst.ProfileMembership), dst.Mutations{})
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("seed %d: churn broke an overlay invariant: %s\nreplay: tapcheck -seed %d -profile membership",
+				seed, res.Violation, seed)
+		}
+		applied += len(res.Scenario.Events) - res.Skipped
+	}
+	if applied == 0 {
+		t.Fatal("no membership event applied across all seeds — property exercised nothing")
+	}
+}

@@ -93,33 +93,6 @@ func TestPropConsiderRespectsSlotConstraints(t *testing.T) {
 	}
 }
 
-// Property: after any interleaving of joins and single failures, the
-// overlay invariants hold and data-path routing still matches the oracle.
-func TestPropChurnPreservesInvariants(t *testing.T) {
-	f := func(seed uint64, ops [24]uint8) bool {
-		s := rng.New(seed)
-		o, err := Build(DefaultConfig(), 40, s.Split("build"))
-		if err != nil {
-			return false
-		}
-		for _, op := range ops {
-			if op%2 == 0 && o.Size() > 8 {
-				if err := o.Fail(o.RandomLive(s).Ref().Addr); err != nil {
-					return false
-				}
-			} else {
-				o.Join()
-			}
-		}
-		if o.CheckInvariants() != nil {
-			return false
-		}
-		var key id.ID
-		s.Bytes(key[:])
-		got, _, err := o.Lookup(o.RandomLive(s).Ref().Addr, key)
-		return err == nil && got.ID() == o.OwnerOf(key).ID()
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
-		t.Fatal(err)
-	}
-}
+// The churn property (joins/failures preserve invariants) moved to
+// dst_property_test.go, where it runs on dst scenarios with per-event
+// invariant checks and batch failures.

@@ -111,6 +111,12 @@ type Network struct {
 	// SendHook, when non-nil, observes every transmission at send time —
 	// the wire-level tap traffic-analysis tests use.
 	SendHook func(from, to Addr, msg Message)
+	// ExtraDelay, when non-nil, returns additional in-transit delay for a
+	// transmission that will otherwise be delivered — the adversarial
+	// reordering hook the simulation checker uses to race retransmissions
+	// against originals. It runs after fault handling, so lost messages
+	// never reach it. Negative returns are clamped to zero.
+	ExtraDelay func(src, dst Addr, msg Message) Time
 
 	// UplinkContention, when set, serializes each node's outgoing
 	// transmissions: a second send from the same node cannot begin
@@ -209,6 +215,11 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 			return
 		}
 		delay += extra
+	}
+	if n.ExtraDelay != nil {
+		if extra := n.ExtraDelay(src, dst, msg); extra > 0 {
+			delay += extra
+		}
 	}
 	n.Kernel.Schedule(delay, func() {
 		h := n.handlers[dst]

@@ -34,13 +34,17 @@ func ChooseScattered(pool []Secret, l int, b int, stream *rng.Stream) ([]Secret,
 	digits := make([]int, 0, len(buckets))
 	for d := range buckets {
 		digits = append(digits, d)
+	}
+	// Deterministic bucket order before any stream draw: shuffling inside
+	// the map iteration above would consume the stream in map order and
+	// break replay determinism.
+	sortInts(digits)
+	for _, d := range digits {
 		// Shuffle within each bucket so repeated tunnel formation does not
 		// always reuse the same anchor.
 		bk := buckets[d]
 		stream.Shuffle(len(bk), func(i, j int) { bk[i], bk[j] = bk[j], bk[i] })
 	}
-	// Deterministic bucket order, then shuffled.
-	sortInts(digits)
 	stream.Shuffle(len(digits), func(i, j int) { digits[i], digits[j] = digits[j], digits[i] })
 
 	out := make([]Secret, 0, l)
