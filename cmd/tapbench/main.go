@@ -7,9 +7,10 @@
 // Benchmarks are grouped by cost so each group can use a sampling policy
 // matched to its runtime:
 //
-//   - hot:     the layered-crypto hot path (LayeredSeal/LayeredPeel) —
-//     many timed samples, minimum taken, so shared-VM scheduler noise
-//     does not masquerade as a regression (or an improvement);
+//   - hot:     the steady-state hot paths (LayeredSeal/LayeredPeel plus
+//     the TunnelPool probe cycle) — many timed samples, minimum taken, so
+//     shared-VM scheduler noise does not masquerade as a regression (or
+//     an improvement);
 //   - micro:   the remaining micro-benchmarks — a few short samples;
 //   - figures: the figure/extension/ablation experiment benchmarks —
 //     one iteration each (they are end-to-end experiments; their value
@@ -76,7 +77,7 @@ type group struct {
 }
 
 var defaultGroups = []group{
-	{name: "hot", pattern: "^(BenchmarkLayeredSeal|BenchmarkLayeredPeel)$", benchtime: "500ms", count: 10},
+	{name: "hot", pattern: "^(BenchmarkLayeredSeal|BenchmarkLayeredPeel|BenchmarkPoolProbeCycle)$", benchtime: "500ms", count: 10},
 	{name: "micro", pattern: "^(BenchmarkSeal|BenchmarkOpen|BenchmarkSealer|BenchmarkPastryRoute|BenchmarkOverlayBuild|BenchmarkTunnelWalk|BenchmarkPastryJoinProtocol|BenchmarkReplicaMigration|BenchmarkSecureLookup)", benchtime: "200ms", count: 3},
 	{name: "figures", pattern: "^(BenchmarkFig|BenchmarkExt|BenchmarkAblation)", benchtime: "1x", count: 1},
 }

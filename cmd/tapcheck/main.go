@@ -206,6 +206,10 @@ func parseMutation(s string) (dst.Mutations, error) {
 		m.LeakPayload = true
 	case "disable-ack-dedup":
 		m.DisableAckDedup = true
+	case "stall-rebuild":
+		m.StallRebuild = true
+	case "uncapped-rebuild":
+		m.UncappedRebuild = true
 	default:
 		return m, fmt.Errorf("unknown mutation %q", s)
 	}
@@ -214,11 +218,12 @@ func parseMutation(s string) (dst.Mutations, error) {
 
 func parseProfiles(s string) ([]dst.Profile, error) {
 	switch dst.Profile(s) {
-	case dst.ProfileFull, dst.ProfileMembership, dst.ProfileStorage:
+	case dst.ProfileFull, dst.ProfileMembership, dst.ProfileStorage, dst.ProfilePool:
 		return []dst.Profile{dst.Profile(s)}, nil
 	}
 	if s == "all" {
-		return []dst.Profile{dst.ProfileFull, dst.ProfileMembership, dst.ProfileStorage}, nil
+		return []dst.Profile{dst.ProfileFull, dst.ProfileMembership,
+			dst.ProfileStorage, dst.ProfilePool}, nil
 	}
-	return nil, fmt.Errorf("unknown profile %q (full|membership|storage|all)", s)
+	return nil, fmt.Errorf("unknown profile %q (full|membership|storage|pool|all)", s)
 }

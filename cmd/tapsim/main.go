@@ -247,6 +247,17 @@ func main() {
 			})
 		})
 	}
+	if strings.EqualFold(*exp, "ext-selfheal") {
+		matched = true
+		run("ext-selfheal", func() (*trace.Table, error) {
+			// K and Length stay at the experiment's defaults (k=2, l=3):
+			// thin replication is the point — at the usual k=3, batch churn
+			// almost never kills an anchor and both modes tie at ~1.0.
+			return experiments.ExtSelfHeal(experiments.ExtSelfHealParams{
+				N: *n, Trials: *trials, Seed: *seed,
+			})
+		})
+	}
 	if strings.EqualFold(*exp, "ext") {
 		matched = true
 		run("ext-secroute", func() (*trace.Table, error) {
@@ -273,9 +284,12 @@ func main() {
 		run("ext-reliability", func() (*trace.Table, error) {
 			return experiments.ExtReliability(experiments.ExtReliabilityParams{Trials: *trials, Seed: *seed})
 		})
+		run("ext-selfheal", func() (*trace.Table, error) {
+			return experiments.ExtSelfHeal(experiments.ExtSelfHealParams{Trials: *trials, Seed: *seed})
+		})
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "tapsim: unknown experiment %q (want fig2|fig3|fig4a|fig4b|fig5|fig6|all|ext|ext-secroute|ext-detect|ext-cover|ext-anon|ext-session|ext-inflight|ext-timing|ext-reliability)\n", *exp)
+		fmt.Fprintf(os.Stderr, "tapsim: unknown experiment %q (want fig2|fig3|fig4a|fig4b|fig5|fig6|all|ext|ext-secroute|ext-detect|ext-cover|ext-anon|ext-session|ext-inflight|ext-timing|ext-reliability|ext-selfheal)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -23,6 +23,14 @@ type Initiator struct {
 	// anchor another live tunnel still rides on (tunnels formed from one
 	// pool may share anchors).
 	active []*Tunnel
+
+	// Quarantine, when non-nil, is consulted by FormTunnel and
+	// FormDisjointTunnels: anchors whose circuit breaker is open are
+	// excluded from formation, unless exclusion would leave too few
+	// anchors to form at all (blocked anchors are then readmitted as a
+	// last resort — a short tunnel over a suspect hop beats no tunnel).
+	// TunnelPool installs one; standalone initiators leave it nil.
+	Quarantine *Quarantine
 }
 
 // NewInitiator creates the TAP client for a node. stream feeds anchor and
@@ -145,9 +153,30 @@ func (in *Initiator) DeployDirect(n int) error {
 	return nil
 }
 
-// FormTunnel assembles a tunnel of length l from the live pool.
+// formPool returns the anchors eligible for tunnel formation: the live
+// pool minus quarantined anchors — unless filtering leaves fewer than
+// need, in which case the full pool is used as a last resort.
+func (in *Initiator) formPool(need int) []tha.Secret {
+	pool := in.Pool()
+	if in.Quarantine == nil {
+		return pool
+	}
+	filtered := make([]tha.Secret, 0, len(pool))
+	for _, s := range pool {
+		if !in.Quarantine.Blocked(s.HopID) {
+			filtered = append(filtered, s)
+		}
+	}
+	if len(filtered) >= need {
+		return filtered
+	}
+	return pool
+}
+
+// FormTunnel assembles a tunnel of length l from the live pool,
+// excluding quarantined anchors when a Quarantine is installed.
 func (in *Initiator) FormTunnel(l int) (*Tunnel, error) {
-	t, err := Form(in.Pool(), l, in.svc.OV.Config().B, in.stream)
+	t, err := Form(in.formPool(l), l, in.svc.OV.Config().B, in.stream)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +190,7 @@ func (in *Initiator) FormTunnel(l int) (*Tunnel, error) {
 // adversary cannot correlate a request with its reply through a shared
 // hop. The pool must hold at least count·l live anchors.
 func (in *Initiator) FormDisjointTunnels(count, l int) ([]*Tunnel, error) {
-	pool := in.Pool()
+	pool := in.formPool(count * l)
 	if len(pool) < count*l {
 		return nil, fmt.Errorf("core: pool of %d anchors cannot form %d disjoint %d-hop tunnels", len(pool), count, l)
 	}
@@ -229,6 +258,44 @@ func (in *Initiator) DeleteAnchors(t *Tunnel) error {
 	}
 	in.pool = keptPool
 	return firstErr
+}
+
+// Release unregisters a tunnel without deleting its anchors: they stay
+// deployed and in the pool for reuse by later tunnels. The tunnel pool's
+// teardown path uses it — a dead tunnel usually has one bad hop, and the
+// other anchors are still good (the bad one is handled by the quarantine,
+// or retired individually with DropAnchor).
+func (in *Initiator) Release(t *Tunnel) {
+	kept := in.active[:0]
+	for _, a := range in.active {
+		if a != t {
+			kept = append(kept, a)
+		}
+	}
+	in.active = kept
+}
+
+// DropAnchor retires a single anchor: it is deleted from the directory
+// (with its password proof) and dropped from the pool. An anchor a
+// still-active tunnel rides on is spared. Returns whether it was dropped.
+func (in *Initiator) DropAnchor(hopID id.ID) bool {
+	for _, a := range in.active {
+		for _, h := range a.Hops {
+			if h.HopID == hopID {
+				return false
+			}
+		}
+	}
+	for i, s := range in.pool {
+		if s.HopID == hopID {
+			// Best effort: the delete failing (e.g. every replica is down)
+			// does not keep the anchor usable, so it leaves the pool anyway.
+			_ = in.svc.Dir.Delete(s.HopID, s.PW)
+			in.pool = append(in.pool[:i], in.pool[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // NewBid picks an identifier the initiator's node currently owns, without

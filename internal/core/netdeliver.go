@@ -419,7 +419,7 @@ func (e *NetEngine) dispatch(self simnet.Addr, p *packet, hint simnet.Addr) {
 func (e *NetEngine) SendOvert(from simnet.Addr, dest id.ID, size int, done func(Outcome)) uint64 {
 	flow := e.newFlow(done)
 	if e.rel != nil {
-		e.startReliable(flow, from, size, func() (*packet, simnet.Addr) {
+		e.startReliable(flow, from, size, SendOpts{}, func() (*packet, simnet.Addr) {
 			return &packet{kind: kindPayload, flow: flow, target: dest, payloadSize: size, ackTo: from}, simnet.NoAddr
 		})
 		return flow
@@ -432,9 +432,17 @@ func (e *NetEngine) SendOvert(from simnet.Addr, dest id.ID, size int, done func(
 // address. With hints inside env (built via a HintCache) this is TAP_opt;
 // without, TAP_basic.
 func (e *NetEngine) SendForward(from simnet.Addr, env *Envelope, done func(Outcome)) uint64 {
+	return e.SendForwardOpt(from, env, SendOpts{}, done)
+}
+
+// SendForwardOpt is SendForward with per-flow options: a custom attempt
+// budget (health probes) and the hint-cache binding that lets exhaustion
+// invalidate a dead tunnel's hints. The options only apply under the
+// reliability protocol; a fire-and-forget flow ignores them.
+func (e *NetEngine) SendForwardOpt(from simnet.Addr, env *Envelope, opts SendOpts, done func(Outcome)) uint64 {
 	flow := e.newFlow(done)
 	if e.rel != nil {
-		e.startReliable(flow, from, env.SizeBytes(), func() (*packet, simnet.Addr) {
+		e.startReliable(flow, from, env.SizeBytes(), opts, func() (*packet, simnet.Addr) {
 			return &packet{kind: kindForward, flow: flow, target: env.HopID, env: env, ackTo: from}, env.Hint
 		})
 		return flow
@@ -467,7 +475,7 @@ func WireBytes(msg simnet.Message) [][]byte {
 func (e *NetEngine) SendReply(from simnet.Addr, renv *ReplyEnvelope, done func(Outcome)) uint64 {
 	flow := e.newFlow(done)
 	if e.rel != nil {
-		e.startReliable(flow, from, renv.SizeBytes(), func() (*packet, simnet.Addr) {
+		e.startReliable(flow, from, renv.SizeBytes(), SendOpts{}, func() (*packet, simnet.Addr) {
 			return &packet{kind: kindReply, flow: flow, target: renv.Target, renv: renv, ackTo: from}, renv.Hint
 		})
 		return flow

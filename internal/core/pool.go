@@ -1,0 +1,829 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"tap/internal/id"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+)
+
+// TunnelPool keeps N disjoint tunnels per initiator alive under churn.
+// A tunnel formed once and never revisited dies silently: the initiator
+// only learns at the next send, after burning a full retransmit schedule.
+// The pool closes that gap with an active lifecycle:
+//
+//   - Periodic end-to-end echo probes over each tunnel. A probe is a
+//     small forward-tunnel message whose exit destination is a bid the
+//     initiator's own node owns (the §4 reply-delivery condition), so the
+//     echo coming home proves every hop decrypted and forwarded.
+//   - Binary-search hop attribution on failure: probing prefix
+//     sub-tunnels isolates the first hop that no longer serves, in
+//     O(log l) probes instead of l.
+//   - The culprit feeds the per-initiator Quarantine, which FormTunnel
+//     consults, so replacement tunnels avoid the bad hop.
+//   - Dead tunnels are torn down (anchors released for reuse, not
+//     deleted) and rebuilt under jittered exponential backoff per slot
+//     plus a global RateLimiter, so mass churn cannot trigger a
+//     correlated rebuild storm.
+//   - Hysteresis: a rebuilt tunnel is "recovering" until it passes
+//     HealthyThreshold consecutive probes; it only then counts toward
+//     the pool's healthy size.
+//   - Graceful degradation: Send picks the healthiest slot and fails
+//     over to the next on failure; when nothing is usable (e.g. the
+//     initiator is partitioned) Send fails fast with ErrPoolDegraded
+//     instead of hanging callers on retransmit schedules.
+//
+// The pool runs entirely on the simulation kernel and owns no goroutines;
+// all state is single-threaded like the rest of the engine.
+type TunnelPool struct {
+	in  *Initiator
+	eng *NetEngine
+	cfg PoolConfig
+
+	quar    *Quarantine
+	limiter *RateLimiter
+	stream  *rng.Stream
+	slots   []*poolSlot
+
+	started  bool
+	stopped  bool
+	degraded bool
+	// consecRebuildFails counts rebuild cycles that failed to produce a
+	// trusted tunnel (formation error, or death while recovering) since
+	// the last promotion. Crossing DegradedAfter flips the pool degraded.
+	consecRebuildFails int
+
+	// OnStateChange, when non-nil, observes degraded-state transitions.
+	OnStateChange func(degraded bool)
+
+	Stats PoolStats
+}
+
+// PoolConfig tunes a TunnelPool. The zero value of every field gets a
+// sensible default from withDefaults; see DESIGN.md §11 for why these
+// particular constants.
+type PoolConfig struct {
+	// Size is the target number of healthy tunnels (default 3); Length
+	// their hop count (default 3, the paper's default l).
+	Size   int
+	Length int
+	// SpareAnchors keeps extra anchors deployed beyond Size*Length so a
+	// rebuild can avoid quarantined anchors without a deployment round
+	// trip. Default Length.
+	SpareAnchors int
+
+	// ProbeInterval is the per-slot echo cadence (default 2s), jittered
+	// by ProbeJitterFrac (default 0.1) so pools across a network do not
+	// synchronize. ProbeTimeout (default 5s) declares an unanswered
+	// probe failed; ProbeAttempts (default 1) is the probe flow's
+	// retransmit budget — probes are cheap and frequent, so they detect
+	// rather than persist. SendAttempts (default 3) is the budget for
+	// pool data sends: enough to ride out one transient loss, small
+	// enough that failover to another tunnel is fast.
+	ProbeInterval   simnet.Time
+	ProbeJitterFrac float64
+	ProbeTimeout    simnet.Time
+	ProbeAttempts   int
+	SendAttempts    int
+
+	// FailThreshold consecutive probe failures declare a tunnel dead
+	// (default 2: one failure can be loss, two in a row is a dead hop).
+	// HealthyThreshold consecutive successes promote a recovering tunnel
+	// (default 2: hysteresis so a flapping path cannot oscillate the
+	// pool's health accounting).
+	FailThreshold    int
+	HealthyThreshold int
+
+	// Rebuild backoff per slot: first retry after RebuildBackoffMin
+	// (default 1s), multiplied by RebuildBackoffFactor (default 2) per
+	// consecutive failure up to RebuildBackoffMax (default 8s), jittered
+	// by RebuildJitterFrac (default 0.2).
+	RebuildBackoffMin    simnet.Time
+	RebuildBackoffMax    simnet.Time
+	RebuildBackoffFactor float64
+	RebuildJitterFrac    float64
+
+	// Limiter is the global rebuild admission control, shared across
+	// pools to cap the aggregate rebuild rate. Nil gets a private
+	// limiter (0.2/s sustained, burst Size).
+	Limiter *RateLimiter
+
+	// DegradedAfter consecutive failed rebuild cycles flip the pool into
+	// the degraded state (default 2). While degraded with FallbackLength
+	// > 0, rebuilds form shorter tunnels of that length — trading some
+	// anonymity margin for connectivity — until a full-length tunnel is
+	// promoted again. FallbackLength 0 disables the fallback.
+	DegradedAfter  int
+	FallbackLength int
+
+	// Quarantine tunes the hop scoreboard installed on the initiator.
+	Quarantine QuarantineConfig
+
+	// Stream roots the pool's jitter and probe nonces. Default: a
+	// private split of the initiator's stream.
+	Stream *rng.Stream
+
+	// DisableRebuild and BypassAdmission are fault-injection seams in
+	// the spirit of Service.HopFilter, planted by the simulation checker
+	// to prove the pool invariants fire: the first stalls every rebuild
+	// (dead slots stay empty), the second skips the backoff and the rate
+	// limiter (rebuild storms). Never set them otherwise.
+	DisableRebuild  bool
+	BypassAdmission bool
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Size == 0 {
+		c.Size = 3
+	}
+	if c.Length == 0 {
+		c.Length = 3
+	}
+	if c.SpareAnchors == 0 {
+		c.SpareAnchors = c.Length
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeJitterFrac == 0 {
+		c.ProbeJitterFrac = 0.1
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 5 * time.Second
+	}
+	if c.ProbeAttempts == 0 {
+		c.ProbeAttempts = 1
+	}
+	if c.SendAttempts == 0 {
+		c.SendAttempts = 3
+	}
+	if c.FailThreshold == 0 {
+		c.FailThreshold = 2
+	}
+	if c.HealthyThreshold == 0 {
+		c.HealthyThreshold = 2
+	}
+	if c.RebuildBackoffMin == 0 {
+		c.RebuildBackoffMin = time.Second
+	}
+	if c.RebuildBackoffMax == 0 {
+		c.RebuildBackoffMax = 8 * time.Second
+	}
+	if c.RebuildBackoffFactor == 0 {
+		c.RebuildBackoffFactor = 2
+	}
+	if c.RebuildJitterFrac == 0 {
+		c.RebuildJitterFrac = 0.2
+	}
+	if c.DegradedAfter == 0 {
+		c.DegradedAfter = 2
+	}
+	return c
+}
+
+// PoolStats counts pool lifecycle activity.
+type PoolStats struct {
+	ProbesSent    uint64
+	ProbesOK      uint64
+	ProbesFailed  uint64
+	ProbeTimeouts uint64
+
+	SlotDeaths   uint64 // tunnels declared dead
+	Attributions uint64 // deaths attributed to a specific hop
+
+	Rebuilds        uint64 // rebuild attempts admitted (tunnel formed or tried)
+	RebuildsDenied  uint64 // rebuilds refused by the rate limiter
+	RebuildFailures uint64 // admitted rebuilds whose formation failed
+	FallbackForms   uint64 // rebuilds that used the shorter fallback length
+
+	Sends        uint64 // pool sends accepted
+	SendFailures uint64 // individual tunnel attempts that failed
+	Failovers    uint64 // sends retried over another tunnel
+	FastFails    uint64 // sends rejected immediately (degraded)
+
+	DegradedEnters uint64
+	DegradedExits  uint64
+
+	Repairs    uint64      // slots restored to healthy after a death
+	RepairTime simnet.Time // total dead-to-healthy time across repairs
+}
+
+// slotHealth is a slot's lifecycle position.
+type slotHealth int
+
+const (
+	slotEmpty      slotHealth = iota // no tunnel; awaiting rebuild
+	slotRecovering                   // tunnel formed, not yet trusted
+	slotHealthy                      // passing probes
+	slotDying                        // declared dead; attribution running
+)
+
+// poolSlot is one of the pool's tunnel positions.
+type poolSlot struct {
+	idx     int
+	tunnel  *Tunnel
+	cache   *HintCache
+	health  slotHealth
+	probing bool
+
+	consecOK   int
+	consecFail int
+
+	// deadSince anchors the time-to-repair measurement: set at the first
+	// death, cleared at the next promotion.
+	deadSince    simnet.Time
+	hasDeadSince bool
+
+	// backoff is the slot's current rebuild delay (grows on failed
+	// rebuild cycles); nextRebuildAt gates the next attempt.
+	backoff       simnet.Time
+	nextRebuildAt simnet.Time
+}
+
+// Pool errors.
+var (
+	// ErrPoolDegraded means no tunnel is currently usable; the send was
+	// rejected immediately rather than queued behind a doomed
+	// retransmit schedule. Callers back off and retry; the pool's
+	// probes and rebuilds keep working toward recovery.
+	ErrPoolDegraded = errors.New("core: tunnel pool degraded: no usable tunnel")
+	// ErrPoolStopped means the pool was shut down.
+	ErrPoolStopped = errors.New("core: tunnel pool stopped")
+)
+
+// NewTunnelPool builds a pool of cfg.Size disjoint tunnels for the
+// initiator, deploying any missing anchors, and installs the hop
+// quarantine on the initiator. Call Start to begin the probe loop.
+func NewTunnelPool(in *Initiator, eng *NetEngine, cfg PoolConfig) (*TunnelPool, error) {
+	cfg = cfg.withDefaults()
+	p := &TunnelPool{
+		in:      in,
+		eng:     eng,
+		cfg:     cfg,
+		limiter: cfg.Limiter,
+		stream:  cfg.Stream,
+	}
+	if p.stream == nil {
+		p.stream = in.stream.Split("tunnel-pool")
+	}
+	if p.limiter == nil {
+		p.limiter = NewRateLimiter(0.2, float64(cfg.Size))
+	}
+	p.quar = NewQuarantine(cfg.Quarantine, eng.net.Now)
+	in.Quarantine = p.quar
+
+	if err := p.ensureAnchors(); err != nil {
+		return nil, err
+	}
+	tunnels, err := in.FormDisjointTunnels(cfg.Size, cfg.Length)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range tunnels {
+		s := &poolSlot{idx: i, tunnel: t, cache: NewHintCache(), health: slotHealthy}
+		// Best effort: an unresolvable hop just means DHT routing for it.
+		_ = s.cache.Refresh(in.svc, t)
+		p.slots = append(p.slots, s)
+	}
+	return p, nil
+}
+
+// Start begins the periodic probe/rebuild loop and subscribes to the
+// network's address up/down events so a heal or restart triggers prompt
+// re-probing instead of waiting out backoff timers.
+func (p *TunnelPool) Start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.eng.net.WatchAddrs(func(_ simnet.Addr, up bool) {
+		if up && !p.stopped {
+			p.onAddrUp()
+		}
+	})
+	p.scheduleTick()
+}
+
+// Stop halts the probe loop. In-flight probes resolve as no-ops; pending
+// tick and timeout timers drain without rescheduling, so a simulation
+// kernel reaches quiescence.
+func (p *TunnelPool) Stop() { p.stopped = true }
+
+// now reads the simulated clock.
+func (p *TunnelPool) now() simnet.Time { return p.eng.net.Now() }
+
+// jittered spreads d by ±frac.
+func (p *TunnelPool) jittered(d simnet.Time, frac float64) simnet.Time {
+	if frac <= 0 || d <= 0 {
+		return d
+	}
+	return simnet.Time(float64(d) * (1 + frac*(2*p.stream.Float64()-1)))
+}
+
+func (p *TunnelPool) scheduleTick() {
+	p.eng.net.Kernel.Schedule(p.jittered(p.cfg.ProbeInterval, p.cfg.ProbeJitterFrac), func() {
+		if p.stopped {
+			return
+		}
+		p.tick()
+		p.scheduleTick()
+	})
+}
+
+// tick is one lifecycle round: probe every live slot, fill empty ones.
+func (p *TunnelPool) tick() {
+	p.ProbeRound()
+	p.tryRebuild()
+	p.updateState()
+}
+
+// ProbeRound fires an echo probe on every slot that holds a tunnel and is
+// not already probing. Exposed for the probe-cycle benchmark and tests;
+// the Start loop calls it every ProbeInterval.
+func (p *TunnelPool) ProbeRound() {
+	for _, s := range p.slots {
+		if s.tunnel != nil && s.health != slotDying && !s.probing {
+			p.probeSlot(s)
+		}
+	}
+}
+
+// probeSlot sends one end-to-end echo over the slot's tunnel.
+func (p *TunnelPool) probeSlot(s *poolSlot) {
+	s.probing = true
+	p.Stats.ProbesSent++
+	p.probeTunnel(s.tunnel, s.cache, func(ok bool) {
+		s.probing = false
+		if p.stopped {
+			return
+		}
+		p.onProbeResult(s, ok)
+	})
+}
+
+// probeTunnel builds and sends an echo probe over t, invoking cb exactly
+// once with the verdict: either the flow's outcome or, if nothing came
+// home within ProbeTimeout, failure. The probe destination is a bid owned
+// by the initiator's own node, so delivery loops the full tunnel and
+// comes home — the same §4 mechanism reply tunnels use.
+func (p *TunnelPool) probeTunnel(t *Tunnel, cache *HintCache, cb func(ok bool)) {
+	var nonce [16]byte
+	p.stream.Bytes(nonce[:])
+	env, err := BuildForwardWithCache(t, cache, p.in.NewBid(), nonce[:], p.stream)
+	if err != nil {
+		cb(false)
+		return
+	}
+	fired := false
+	once := func(ok bool) {
+		if fired {
+			return
+		}
+		fired = true
+		cb(ok)
+	}
+	opts := SendOpts{MaxAttempts: p.cfg.ProbeAttempts, Cache: cache, Hops: t.HopIDs()}
+	p.eng.SendForwardOpt(p.in.node.Ref().Addr, env, opts, func(o Outcome) {
+		once(o.Delivered)
+	})
+	p.eng.net.Kernel.Schedule(p.cfg.ProbeTimeout, func() {
+		if !fired {
+			p.Stats.ProbeTimeouts++
+		}
+		once(false)
+	})
+}
+
+// onProbeResult applies one probe verdict to a slot.
+func (p *TunnelPool) onProbeResult(s *poolSlot, ok bool) {
+	if s.tunnel == nil || s.health == slotDying {
+		return // the slot moved on while the probe was in flight
+	}
+	if ok {
+		p.Stats.ProbesOK++
+		s.consecFail = 0
+		s.consecOK++
+		// Every hop served: clear quarantine strikes, close half-open
+		// breakers.
+		for _, h := range s.tunnel.Hops {
+			p.quar.ReportSuccess(h.HopID)
+		}
+		if s.health == slotRecovering && s.consecOK >= p.cfg.HealthyThreshold {
+			p.promote(s)
+		}
+	} else {
+		p.Stats.ProbesFailed++
+		s.consecOK = 0
+		s.consecFail++
+		if s.consecFail >= p.cfg.FailThreshold {
+			p.declareDead(s)
+		}
+	}
+	p.updateState()
+}
+
+// promote marks a recovering slot healthy and settles its repair timing.
+func (p *TunnelPool) promote(s *poolSlot) {
+	s.health = slotHealthy
+	s.backoff = 0
+	p.consecRebuildFails = 0
+	if s.hasDeadSince {
+		p.Stats.Repairs++
+		p.Stats.RepairTime += p.now() - s.deadSince
+		s.hasDeadSince = false
+	}
+}
+
+// declareDead starts a dead slot's attribution-then-teardown sequence.
+// Attribution must finish before teardown: the prefix probes need the
+// tunnel's anchors still deployed.
+func (p *TunnelPool) declareDead(s *poolSlot) {
+	p.Stats.SlotDeaths++
+	if !s.hasDeadSince {
+		s.deadSince = p.now()
+		s.hasDeadSince = true
+	}
+	if s.health == slotRecovering {
+		// A rebuilt tunnel died before earning trust: that rebuild cycle
+		// failed, so the slot's backoff grows.
+		p.noteRebuildFailure(s)
+	}
+	s.health = slotDying
+	t := s.tunnel
+	p.attribute(t, s.cache, func(culprit id.ID, found bool) {
+		if found {
+			p.Stats.Attributions++
+			if p.quar.ReportFailure(culprit) {
+				// Struck out: the anchor is retired for good. The tunnel
+				// must be released first so DropAnchor sees it unused.
+				p.teardown(s)
+				p.in.DropAnchor(culprit)
+				return
+			}
+		}
+		p.teardown(s)
+	})
+}
+
+// attribute binary-searches for the first hop at which the tunnel stops
+// echoing: probe the prefix sub-tunnel of m hops (its exit routes the
+// echo home from hop m-1); if the echo returns, the fault is deeper.
+// Invariant: the lo-prefix works, the hi-prefix fails; the culprit is
+// hop hi-1. O(log l) probes against l for a linear scan.
+func (p *TunnelPool) attribute(t *Tunnel, cache *HintCache, done func(culprit id.ID, found bool)) {
+	l := len(t.Hops)
+	if l == 0 {
+		done(id.ID{}, false)
+		return
+	}
+	if l == 1 {
+		done(t.Hops[0].HopID, true)
+		return
+	}
+	lo, hi := 0, l
+	var step func()
+	step = func() {
+		if p.stopped {
+			done(id.ID{}, false)
+			return
+		}
+		if hi-lo <= 1 {
+			done(t.Hops[hi-1].HopID, true)
+			return
+		}
+		mid := (lo + hi) / 2
+		p.probeTunnel(t.prefix(mid), cache, func(ok bool) {
+			if ok {
+				lo = mid
+			} else {
+				hi = mid
+			}
+			step()
+		})
+	}
+	step()
+}
+
+// prefix returns the sub-tunnel of t's first m hops, sharing the parent's
+// key schedules where already derived (attribution probes pay no extra
+// AES setup after the first full-tunnel message).
+func (t *Tunnel) prefix(m int) *Tunnel {
+	sub := &Tunnel{Hops: t.Hops[:m]}
+	if len(t.sealers) == len(t.Hops) {
+		sub.sealers = t.sealers[:m]
+	}
+	return sub
+}
+
+// teardown releases a dead slot's tunnel. Anchors are released back to
+// the initiator's pool, not deleted: usually one hop is bad (quarantined
+// above) and the rest are reusable by the rebuild.
+func (p *TunnelPool) teardown(s *poolSlot) {
+	if s.tunnel != nil {
+		p.in.Release(s.tunnel)
+	}
+	s.tunnel = nil
+	s.cache = nil
+	s.health = slotEmpty
+	s.consecOK, s.consecFail = 0, 0
+	s.probing = false
+	s.nextRebuildAt = p.now() + p.jittered(s.backoff, p.cfg.RebuildJitterFrac)
+	p.updateState()
+}
+
+// noteRebuildFailure records a failed rebuild cycle against a slot:
+// backoff grows exponentially and the pool-wide failure streak advances.
+func (p *TunnelPool) noteRebuildFailure(s *poolSlot) {
+	p.consecRebuildFails++
+	if s.backoff == 0 {
+		s.backoff = p.cfg.RebuildBackoffMin
+	} else {
+		s.backoff = simnet.Time(float64(s.backoff) * p.cfg.RebuildBackoffFactor)
+		if s.backoff > p.cfg.RebuildBackoffMax {
+			s.backoff = p.cfg.RebuildBackoffMax
+		}
+	}
+}
+
+// tryRebuild fills empty slots: at most one admitted rebuild per tick,
+// gated by the slot's backoff and the global rate limiter. The
+// BypassAdmission seam skips all three gates — the planted bug the
+// rebuild-rate invariant exists to catch.
+func (p *TunnelPool) tryRebuild() {
+	if p.cfg.DisableRebuild {
+		return
+	}
+	now := p.now()
+	for _, s := range p.slots {
+		if s.health != slotEmpty {
+			continue
+		}
+		if !p.cfg.BypassAdmission {
+			if now < s.nextRebuildAt {
+				continue
+			}
+			if !p.limiter.Allow(now) {
+				p.Stats.RebuildsDenied++
+				// Bucket empty: retry when tokens have refilled; no other
+				// slot can be admitted this tick either.
+				s.nextRebuildAt = now + p.cfg.ProbeInterval
+				return
+			}
+		}
+		p.rebuild(s)
+		if !p.cfg.BypassAdmission {
+			return
+		}
+	}
+}
+
+// rebuild forms a replacement tunnel in an empty slot.
+func (p *TunnelPool) rebuild(s *poolSlot) {
+	p.Stats.Rebuilds++
+	length := p.cfg.Length
+	if p.degraded && p.cfg.FallbackLength > 0 && p.cfg.FallbackLength < length {
+		// Degraded fallback: a shorter tunnel has fewer hops to lose and
+		// fewer anchors to find — connectivity over anonymity margin
+		// until the pool is healthy again.
+		length = p.cfg.FallbackLength
+		p.Stats.FallbackForms++
+	}
+	if err := p.ensureAnchors(); err != nil {
+		p.failRebuild(s)
+		return
+	}
+	t, err := p.in.FormTunnel(length)
+	if err != nil {
+		p.failRebuild(s)
+		return
+	}
+	s.tunnel = t
+	s.cache = NewHintCache()
+	_ = s.cache.Refresh(p.in.svc, t)
+	s.health = slotRecovering
+	s.consecOK, s.consecFail = 0, 0
+	// Probe immediately: a rebuilt tunnel should earn trust (or fail)
+	// without waiting out a tick.
+	p.probeSlot(s)
+}
+
+// failRebuild books a formation failure and re-arms the slot's backoff.
+func (p *TunnelPool) failRebuild(s *poolSlot) {
+	p.Stats.RebuildFailures++
+	p.noteRebuildFailure(s)
+	s.nextRebuildAt = p.now() + p.jittered(maxTime(s.backoff, p.cfg.RebuildBackoffMin), p.cfg.RebuildJitterFrac)
+	p.updateState()
+}
+
+func maxTime(a, b simnet.Time) simnet.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ensureAnchors tops the initiator's pool up to Size*Length+SpareAnchors
+// usable (non-quarantined) anchors.
+func (p *TunnelPool) ensureAnchors() error {
+	target := p.cfg.Size*p.cfg.Length + p.cfg.SpareAnchors
+	usable := 0
+	for _, s := range p.in.Pool() {
+		if !p.quarBlocked(s.HopID) {
+			usable++
+		}
+	}
+	if usable >= target {
+		return nil
+	}
+	return p.in.DeployDirect(target - usable)
+}
+
+func (p *TunnelPool) quarBlocked(h id.ID) bool {
+	return p.quar != nil && p.quar.Blocked(h)
+}
+
+// onAddrUp reacts to any address coming back up (a crash window closing,
+// a partition healing behind it): collapse rebuild backoffs and re-probe
+// unhealthy slots now, so repair time tracks the heal rather than the
+// worst-case timer.
+func (p *TunnelPool) onAddrUp() {
+	now := p.now()
+	for _, s := range p.slots {
+		if s.nextRebuildAt > now {
+			s.nextRebuildAt = now
+		}
+		if s.tunnel != nil && s.health == slotRecovering && !s.probing {
+			p.probeSlot(s)
+		}
+	}
+}
+
+// updateState recomputes the degraded flag.
+func (p *TunnelPool) updateState() {
+	usable := 0
+	for _, s := range p.slots {
+		if s.health == slotHealthy || s.health == slotRecovering {
+			usable++
+		}
+	}
+	deg := usable == 0 || p.consecRebuildFails >= p.cfg.DegradedAfter
+	if deg == p.degraded {
+		return
+	}
+	p.degraded = deg
+	if deg {
+		p.Stats.DegradedEnters++
+	} else {
+		p.Stats.DegradedExits++
+	}
+	if p.OnStateChange != nil {
+		p.OnStateChange(deg)
+	}
+}
+
+// Send delivers payload to the owner of dest over the healthiest tunnel,
+// failing over to the next-best on failure. It returns ErrPoolDegraded
+// immediately when no tunnel is usable — the graceful-degradation
+// contract: a partitioned initiator learns in O(1), not after
+// MaxAttempts of backoff. done (optional) receives the final outcome.
+func (p *TunnelPool) Send(dest id.ID, payload []byte, done func(Outcome)) error {
+	if p.stopped {
+		return ErrPoolStopped
+	}
+	order := p.rankedUsable()
+	if len(order) == 0 || (p.degraded && order[0].health != slotHealthy) {
+		// Nothing usable — or the pool is degraded and the best on offer
+		// is an unproven recovering tunnel, which repeated rebuild
+		// failures say will die too. Reject now rather than burn a
+		// retransmit schedule.
+		p.Stats.FastFails++
+		return ErrPoolDegraded
+	}
+	p.Stats.Sends++
+	var try func(i int, prev Outcome)
+	try = func(i int, prev Outcome) {
+		if i >= len(order) {
+			if done != nil {
+				done(prev)
+			}
+			return
+		}
+		s := order[i]
+		if s.tunnel == nil || s.health == slotDying {
+			try(i+1, prev) // the slot died since ranking
+			return
+		}
+		env, err := BuildForwardWithCache(s.tunnel, s.cache, dest, payload, p.stream)
+		if err != nil {
+			try(i+1, prev)
+			return
+		}
+		opts := SendOpts{MaxAttempts: p.cfg.SendAttempts, Cache: s.cache, Hops: s.tunnel.HopIDs()}
+		p.eng.SendForwardOpt(p.in.node.Ref().Addr, env, opts, func(o Outcome) {
+			if o.Delivered {
+				if done != nil {
+					done(o)
+				}
+				return
+			}
+			p.Stats.SendFailures++
+			p.noteSendFailure(s)
+			if i+1 < len(order) {
+				p.Stats.Failovers++
+			}
+			try(i+1, o)
+		})
+	}
+	try(0, Outcome{})
+	return nil
+}
+
+// noteSendFailure feeds a failed data send into the slot's health
+// accounting — a failed send is as strong a death signal as a failed
+// probe, and fresher.
+func (p *TunnelPool) noteSendFailure(s *poolSlot) {
+	if p.stopped || s.tunnel == nil || s.health == slotDying {
+		return
+	}
+	s.consecOK = 0
+	s.consecFail++
+	if s.consecFail >= p.cfg.FailThreshold {
+		p.declareDead(s)
+	}
+	p.updateState()
+}
+
+// rankedUsable orders the usable slots best-first: healthy before
+// recovering, longer success streaks first, slot order as tiebreak (a
+// deterministic ranking keeps simulations replayable).
+func (p *TunnelPool) rankedUsable() []*poolSlot {
+	var out []*poolSlot
+	for _, s := range p.slots {
+		if s.health == slotHealthy || s.health == slotRecovering {
+			out = append(out, s)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && poolRankLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func poolRankLess(a, b *poolSlot) bool {
+	if (a.health == slotHealthy) != (b.health == slotHealthy) {
+		return a.health == slotHealthy
+	}
+	if a.consecOK != b.consecOK {
+		return a.consecOK > b.consecOK
+	}
+	return a.idx < b.idx
+}
+
+// --- introspection ----------------------------------------------------------
+
+// TargetSize returns the configured pool size.
+func (p *TunnelPool) TargetSize() int { return p.cfg.Size }
+
+// HealthyCount returns the number of slots currently trusted healthy.
+func (p *TunnelPool) HealthyCount() int {
+	n := 0
+	for _, s := range p.slots {
+		if s.health == slotHealthy {
+			n++
+		}
+	}
+	return n
+}
+
+// UsableCount returns healthy plus recovering slots.
+func (p *TunnelPool) UsableCount() int {
+	n := 0
+	for _, s := range p.slots {
+		if s.health == slotHealthy || s.health == slotRecovering {
+			n++
+		}
+	}
+	return n
+}
+
+// Degraded reports the pool's degraded flag.
+func (p *TunnelPool) Degraded() bool { return p.degraded }
+
+// Quarantine returns the hop scoreboard installed on the initiator.
+func (p *TunnelPool) Quarantine() *Quarantine { return p.quar }
+
+// Limiter returns the rebuild admission limiter (shared or private).
+func (p *TunnelPool) Limiter() *RateLimiter { return p.limiter }
+
+// MeanRepairTime returns the average dead-to-healthy repair time, or 0
+// when no repair has completed.
+func (p *TunnelPool) MeanRepairTime() simnet.Time {
+	if p.Stats.Repairs == 0 {
+		return 0
+	}
+	return p.Stats.RepairTime / simnet.Time(p.Stats.Repairs)
+}

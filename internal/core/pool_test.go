@@ -1,0 +1,371 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tap/internal/id"
+	"tap/internal/simnet"
+)
+
+// newPoolSys wires a netSys with reliability on and a started pool.
+func newPoolSys(t *testing.T, n int, seed uint64, cfg PoolConfig) (*netSys, *Initiator, *TunnelPool) {
+	t.Helper()
+	ns := newNetSys(t, n, 3, seed)
+	ns.eng.EnableReliability(Reliability{MaxAttempts: 8})
+	in := ns.readyInitiator(t, "pool-owner", 0)
+	p, err := NewTunnelPool(in, ns.eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ns, in, p
+}
+
+// killAnchor makes a hop anchor unrecoverable: every replica fails in one
+// batch (migration suspended, the paper's simultaneous-failure model) and
+// detaches from the network.
+func killAnchor(t *testing.T, ns *netSys, hop id.ID, spare simnet.Addr) {
+	t.Helper()
+	ns.mgr.BeginBatch()
+	for _, addr := range ns.dir.ReplicaAddrs(hop) {
+		if addr == spare {
+			continue
+		}
+		if err := ns.ov.Fail(addr); err != nil {
+			t.Fatal(err)
+		}
+		ns.net.Detach(addr)
+	}
+	ns.mgr.EndBatch()
+}
+
+func TestPoolFormsDisjointAndStaysHealthy(t *testing.T) {
+	ns, _, p := newPoolSys(t, 300, 41, PoolConfig{Size: 3, Length: 3})
+	p.Start()
+	if err := ns.kernel.RunUntil(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.HealthyCount() != 3 {
+		t.Fatalf("healthy = %d, want 3", p.HealthyCount())
+	}
+	if p.Stats.ProbesSent == 0 || p.Stats.ProbesOK == 0 {
+		t.Fatalf("no probes ran: %+v", p.Stats)
+	}
+	if p.Stats.ProbesFailed != 0 || p.Stats.SlotDeaths != 0 {
+		t.Fatalf("healthy pool saw failures: %+v", p.Stats)
+	}
+	// The three tunnels must be pairwise disjoint.
+	seen := make(map[id.ID]int)
+	for _, s := range p.slots {
+		for _, h := range s.tunnel.Hops {
+			seen[h.HopID]++
+		}
+	}
+	for h, c := range seen {
+		if c > 1 {
+			t.Fatalf("hop %s shared by %d pool tunnels", h.Short(), c)
+		}
+	}
+	p.Stop()
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ns.kernel.Pending() != 0 {
+		t.Fatalf("%d events still pending after Stop+drain", ns.kernel.Pending())
+	}
+}
+
+func TestPoolDetectsDeathAttributesAndRebuilds(t *testing.T) {
+	ns, _, p := newPoolSys(t, 400, 42, PoolConfig{Size: 3, Length: 3})
+	p.Start()
+	if err := ns.kernel.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the middle hop of slot 0's tunnel.
+	victim := p.slots[0].tunnel.Hops[1].HopID
+	killAnchor(t, ns, victim, simnet.NoAddr)
+	if err := ns.kernel.RunUntil(90 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.HealthyCount() != 3 {
+		t.Fatalf("pool did not re-converge: healthy = %d, stats %+v", p.HealthyCount(), p.Stats)
+	}
+	if p.Stats.SlotDeaths == 0 || p.Stats.Rebuilds == 0 {
+		t.Fatalf("death not detected or not rebuilt: %+v", p.Stats)
+	}
+	if p.Stats.Attributions == 0 {
+		t.Fatalf("death not attributed: %+v", p.Stats)
+	}
+	if p.Stats.Repairs == 0 || p.MeanRepairTime() <= 0 {
+		t.Fatalf("repair time not measured: %+v", p.Stats)
+	}
+	// The replacement tunnel must not ride the dead anchor.
+	for _, s := range p.slots {
+		for _, h := range s.tunnel.Hops {
+			if h.HopID == victim {
+				t.Fatal("rebuilt tunnel reuses the dead anchor")
+			}
+		}
+	}
+	p.Stop()
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolPartitionedInitiatorFailsFast is the satellite-3 regression: a
+// partitioned initiator's sends must be rejected immediately (degraded
+// state) instead of each burning a full retransmit schedule — and the
+// pool must recover on its own once the partition heals.
+func TestPoolPartitionedInitiatorFailsFast(t *testing.T) {
+	ns, in, p := newPoolSys(t, 300, 43, PoolConfig{Size: 3, Length: 3})
+	p.Start()
+	if err := ns.kernel.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pid := ns.net.StartPartition([]simnet.Addr{in.Node().Ref().Addr}, false)
+	if err := ns.kernel.RunUntil(65 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Degraded() {
+		t.Fatalf("pool not degraded under partition: healthy=%d stats=%+v", p.HealthyCount(), p.Stats)
+	}
+	// The send must fail synchronously: error now, no callback, no flow.
+	before := ns.kernel.Pending()
+	called := false
+	err := p.Send(id.HashString("dest"), []byte("x"), func(Outcome) { called = true })
+	if !errors.Is(err, ErrPoolDegraded) {
+		t.Fatalf("Send = %v, want ErrPoolDegraded", err)
+	}
+	if called {
+		t.Fatal("done callback invoked on a fast-failed send")
+	}
+	if ns.kernel.Pending() != before {
+		t.Fatal("fast-failed send scheduled network work")
+	}
+	if p.Stats.FastFails == 0 {
+		t.Fatal("FastFails not counted")
+	}
+
+	// Heal; probes and rebuilds must restore the pool without help.
+	ns.net.HealPartition(pid)
+	if err := ns.kernel.RunUntil(155 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Degraded() || p.HealthyCount() != 3 {
+		t.Fatalf("pool did not recover after heal: degraded=%v healthy=%d stats=%+v",
+			p.Degraded(), p.HealthyCount(), p.Stats)
+	}
+	delivered := false
+	if err := p.Send(id.HashString("dest"), []byte("x"), func(o Outcome) { delivered = o.Delivered }); err != nil {
+		t.Fatalf("Send after heal: %v", err)
+	}
+	if err := ns.kernel.RunUntil(185 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Fatal("send after heal not delivered")
+	}
+	p.Stop()
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolSendFailsOverToHealthySlot(t *testing.T) {
+	ns, _, p := newPoolSys(t, 400, 44, PoolConfig{Size: 3, Length: 3})
+	// No Start: the send itself must discover the dead tunnel and fail
+	// over. Kill a hop of the first-ranked slot.
+	victim := p.slots[0].tunnel.Hops[0].HopID
+	killAnchor(t, ns, victim, simnet.NoAddr)
+	var out Outcome
+	gotOut := false
+	if err := p.Send(id.HashString("dest"), []byte("payload"), func(o Outcome) { out = o; gotOut = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !gotOut || !out.Delivered {
+		t.Fatalf("failover send not delivered: %+v", out)
+	}
+	if p.Stats.Failovers == 0 || p.Stats.SendFailures == 0 {
+		t.Fatalf("failover not exercised: %+v", p.Stats)
+	}
+}
+
+func TestPoolRebuildRateLimited(t *testing.T) {
+	ns, _, p := newPoolSys(t, 400, 45, PoolConfig{
+		Size: 3, Length: 3,
+		// One token, effectively no refill: only one rebuild may be
+		// admitted no matter how many tunnels die.
+		Limiter: NewRateLimiter(0.0001, 1),
+	})
+	p.Start()
+	if err := ns.kernel.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.slots {
+		killAnchor(t, ns, s.tunnel.Hops[1].HopID, simnet.NoAddr)
+	}
+	if err := ns.kernel.RunUntil(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.SlotDeaths < 3 {
+		t.Fatalf("expected all slots to die: %+v", p.Stats)
+	}
+	if p.Stats.Rebuilds > 1 {
+		t.Fatalf("limiter admitted %d rebuilds, budget was 1", p.Stats.Rebuilds)
+	}
+	if p.Stats.RebuildsDenied == 0 {
+		t.Fatal("no rebuilds denied despite empty bucket")
+	}
+	if p.Limiter().Admitted != p.Stats.Rebuilds {
+		t.Fatalf("admissions %d != rebuilds %d", p.Limiter().Admitted, p.Stats.Rebuilds)
+	}
+	p.Stop()
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolDeterministic(t *testing.T) {
+	run := func() (PoolStats, int) {
+		ns, _, p := newPoolSys(t, 300, 46, PoolConfig{Size: 2, Length: 3})
+		p.Start()
+		if err := ns.kernel.RunUntil(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		killAnchor(t, ns, p.slots[1].tunnel.Hops[2].HopID, simnet.NoAddr)
+		if err := ns.kernel.RunUntil(60 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		p.Stop()
+		if err := ns.kernel.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return p.Stats, p.HealthyCount()
+	}
+	s1, h1 := run()
+	s2, h2 := run()
+	if s1 != s2 || h1 != h2 {
+		t.Fatalf("pool lifecycle not deterministic:\n%+v (healthy %d)\n%+v (healthy %d)", s1, h1, s2, h2)
+	}
+}
+
+// --- quarantine / limiter units ---------------------------------------------
+
+func TestQuarantineBreakerLifecycle(t *testing.T) {
+	var now simnet.Time
+	q := NewQuarantine(QuarantineConfig{Threshold: 2, BaseOpen: 10 * time.Second, StrikeOut: 3}, func() simnet.Time { return now })
+	h := id.HashString("hop")
+
+	if q.Blocked(h) {
+		t.Fatal("fresh hop blocked")
+	}
+	q.ReportFailure(h)
+	if q.Blocked(h) {
+		t.Fatal("blocked below threshold")
+	}
+	q.ReportFailure(h)
+	if !q.Blocked(h) {
+		t.Fatal("not blocked after threshold failures")
+	}
+	// Half-open after the open period.
+	now = 11 * time.Second
+	if q.Blocked(h) {
+		t.Fatal("still blocked after open period (no half-open)")
+	}
+	// Failing the trial re-opens for twice as long.
+	q.ReportFailure(h)
+	if !q.Blocked(h) {
+		t.Fatal("not re-opened after failed trial")
+	}
+	now = 21 * time.Second // 11s + 10s: within the doubled 20s window
+	if !q.Blocked(h) {
+		t.Fatal("re-open did not double the period")
+	}
+	now = 32 * time.Second
+	if q.Blocked(h) {
+		t.Fatal("not half-open after doubled period")
+	}
+	// Passing the trial closes the breaker entirely.
+	q.ReportSuccess(h)
+	if q.Blocked(h) || q.Closes != 1 {
+		t.Fatalf("breaker not closed by successful trial (closes=%d)", q.Closes)
+	}
+}
+
+func TestQuarantineStrikeOut(t *testing.T) {
+	var now simnet.Time
+	q := NewQuarantine(QuarantineConfig{Threshold: 1, BaseOpen: time.Second, StrikeOut: 3}, func() simnet.Time { return now })
+	h := id.HashString("bad-hop")
+	struck := false
+	for i := 0; i < 3; i++ {
+		struck = q.ReportFailure(h)
+		now += 10 * time.Second // past each open window: next failure is a failed trial
+	}
+	if !struck || q.Strikes != 1 {
+		t.Fatalf("no strike-out after 3 opens (strikes=%d)", q.Strikes)
+	}
+	if q.Blocked(h) {
+		t.Fatal("struck-out hop still tracked")
+	}
+}
+
+func TestQuarantineSuccessResetsStreak(t *testing.T) {
+	var now simnet.Time
+	q := NewQuarantine(QuarantineConfig{Threshold: 2, BaseOpen: time.Second}, func() simnet.Time { return now })
+	h := id.HashString("flappy")
+	q.ReportFailure(h)
+	q.ReportSuccess(h)
+	q.ReportFailure(h)
+	if q.Blocked(h) {
+		t.Fatal("success did not reset the failure streak")
+	}
+}
+
+func TestFormTunnelAvoidsQuarantinedAnchors(t *testing.T) {
+	s := newSys(t, 300, 3, 47)
+	in := s.readyInitiator(t, "a", 12)
+	var now simnet.Time
+	q := NewQuarantine(QuarantineConfig{Threshold: 1, BaseOpen: time.Hour}, func() simnet.Time { return now })
+	in.Quarantine = q
+	bad := in.Pool()[0].HopID
+	q.ReportFailure(bad)
+	for i := 0; i < 20; i++ {
+		tun, err := in.FormTunnel(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range tun.Hops {
+			if h.HopID == bad {
+				t.Fatal("formed tunnel over a quarantined anchor")
+			}
+		}
+	}
+}
+
+func TestRateLimiterBucket(t *testing.T) {
+	rl := NewRateLimiter(0.5, 2)
+	if !rl.Allow(0) || !rl.Allow(0) {
+		t.Fatal("burst tokens not granted")
+	}
+	if rl.Allow(0) {
+		t.Fatal("empty bucket granted a token")
+	}
+	// 0.5/s for 4s refills 2 tokens (capped at burst).
+	if !rl.Allow(4*time.Second) || !rl.Allow(4*time.Second) {
+		t.Fatal("refill not granted")
+	}
+	if rl.Allow(4 * time.Second) {
+		t.Fatal("over-refill granted")
+	}
+	if rl.Admitted != 4 || rl.Denied != 2 {
+		t.Fatalf("admitted=%d denied=%d", rl.Admitted, rl.Denied)
+	}
+	if b := rl.Bound(10 * time.Second); b != 2+5 {
+		t.Fatalf("Bound = %v, want 7", b)
+	}
+}

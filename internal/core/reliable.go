@@ -65,6 +65,21 @@ func (r Reliability) withDefaults() Reliability {
 	return r
 }
 
+// SendOpts tunes one reliable flow and binds it to the tunnel state it
+// rode, so exhaustion can clean up after a dead tunnel.
+type SendOpts struct {
+	// MaxAttempts, when > 0, overrides Reliability.MaxAttempts for this
+	// flow. Health probes use a small budget so a dead tunnel is detected
+	// in one or two RTOs rather than after the full backoff schedule.
+	MaxAttempts int
+	// Cache and Hops bind the flow to the tunnel it was built over. When
+	// the flow exhausts its attempt budget, the cached address of every
+	// hop is marked stale and evicted: the initiator has concluded the
+	// tunnel is dead, so its hints must not poison later flows.
+	Cache *HintCache
+	Hops  []id.ID
+}
+
 // flowState is the initiator-side record of one in-flight reliable flow.
 type flowState struct {
 	origin simnet.Addr
@@ -72,6 +87,7 @@ type flowState struct {
 	// address hint to try (the hint is re-checked against the stale set
 	// on every dispatch).
 	resend   func() (*packet, simnet.Addr)
+	opts     SendOpts
 	attempts int
 	// gen invalidates superseded timers: only the timer armed for the
 	// current attempt may act.
@@ -80,6 +96,14 @@ type flowState struct {
 	firstAt simnet.Time
 	lastAt  simnet.Time
 	lastErr string // why the most recent packet died, when observed
+}
+
+// maxAttempts resolves the per-flow attempt budget.
+func (st *flowState) maxAttempts(rel *Reliability) int {
+	if st.opts.MaxAttempts > 0 {
+		return st.opts.MaxAttempts
+	}
+	return rel.MaxAttempts
 }
 
 // ackRecord is the terminal-side dedup state for a delivered reliable
@@ -122,10 +146,11 @@ func (e *NetEngine) hintStale(target id.ID, addr simnet.Addr) bool {
 }
 
 // startReliable registers flow state and fires the first attempt.
-func (e *NetEngine) startReliable(flow uint64, origin simnet.Addr, size int, resend func() (*packet, simnet.Addr)) {
+func (e *NetEngine) startReliable(flow uint64, origin simnet.Addr, size int, opts SendOpts, resend func() (*packet, simnet.Addr)) {
 	st := &flowState{
 		origin:  origin,
 		resend:  resend,
+		opts:    opts,
 		rto:     e.initialRTO(size),
 		firstAt: e.net.Now(),
 	}
@@ -171,7 +196,7 @@ func (e *NetEngine) armTimer(flow uint64, st *flowState) {
 		if !ok || cur.gen != gen {
 			return
 		}
-		if cur.attempts >= e.rel.MaxAttempts {
+		if cur.attempts >= cur.maxAttempts(e.rel) {
 			e.exhaust(flow, cur)
 			return
 		}
@@ -187,6 +212,18 @@ func (e *NetEngine) exhaust(flow uint64, st *flowState) {
 	delete(e.flows, flow)
 	delete(e.pending, flow)
 	e.FailFlows++
+	// The tunnel this flow rode is presumed dead: evict every hop's cached
+	// address and remember the dead ends, so the stale hints cannot keep
+	// poisoning later flows (they would each burn a hint miss per send
+	// until somebody refreshed the cache).
+	if st.opts.Cache != nil {
+		for _, hop := range st.opts.Hops {
+			if a := st.opts.Cache.Get(hop); a != simnet.NoAddr {
+				e.markStaleHint(hop, a)
+				st.opts.Cache.Invalidate(hop)
+			}
+		}
+	}
 	why := st.lastErr
 	if why == "" {
 		why = "no ACK"

@@ -9,7 +9,7 @@ import (
 // and profiles: no invariant may fire, no infrastructure error may
 // occur, and the schedule must actually exercise the system.
 func TestCleanScenariosHold(t *testing.T) {
-	profiles := []Profile{ProfileFull, ProfileMembership, ProfileStorage}
+	profiles := []Profile{ProfileFull, ProfileMembership, ProfileStorage, ProfilePool}
 	seeds := 10
 	if testing.Short() {
 		seeds = 3
@@ -129,7 +129,8 @@ func TestTraceJSONDeterministic(t *testing.T) {
 // TestCheckerRegistryComplete pins the invariant catalogue: every
 // documented checker is registered exactly once.
 func TestCheckerRegistryComplete(t *testing.T) {
-	want := []string{"tha-replication", "leafset", "no-plaintext", "tunnel-liveness", "exactly-once"}
+	want := []string{"tha-replication", "leafset", "no-plaintext", "tunnel-liveness",
+		"exactly-once", "rebuild-rate", "pool-reconverge"}
 	got := Checkers()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d checkers, want %d", len(got), len(want))

@@ -55,6 +55,19 @@ func Checkers() []Checker {
 				"once and its outcome callback fires at most once, despite retransmission",
 			AtQuiescence: checkExactlyOnce,
 		},
+		{
+			Name: "rebuild-rate",
+			Doc: "every tunnel rebuild was admitted by the shared rate " +
+				"limiter, and the limiter never admitted more than its bucket bound allows",
+			AfterEvent:   checkRebuildRate,
+			AtQuiescence: checkRebuildRate,
+		},
+		{
+			Name: "pool-reconverge",
+			Doc: "in loss-free runs, every tunnel pool is back at its " +
+				"target healthy size once all partitions healed and the repair horizon passed",
+			AtQuiescence: checkPoolReconverge,
+		},
 	}
 }
 
@@ -124,12 +137,19 @@ func checkTunnelLiveness(r *runner) (string, bool) {
 			return fmt.Sprintf("flow %d never resolved (no delivery, no exhaust)", flow), true
 		}
 	}
-	if r.sc.Loss > 0 {
+	for i, rec := range r.poolSends {
+		if rec.outcomes == 0 {
+			return fmt.Sprintf("pool send %d never resolved (no delivery, no exhaust)", i), true
+		}
+	}
+	if r.sc.Loss > 0 || r.hasPartitions {
+		// Under loss or partitions (b) is undecidable: an honest flow can
+		// exhaust its budget while every hop anchor keeps a live replica.
 		return "", false
 	}
 	for _, flow := range r.flowOrder() {
 		rec := r.flows[flow]
-		if rec.outcome.Delivered {
+		if rec.outcome.Delivered || rec.tunnel == nil {
 			continue
 		}
 		functional := true
@@ -162,6 +182,60 @@ func checkExactlyOnce(r *runner) (string, bool) {
 		}
 		if rec.outcomes == 1 && rec.outcome.Delivered && rec.fresh == 0 {
 			return fmt.Sprintf("flow %d reported delivered but its terminal never saw data", flow), true
+		}
+	}
+	for i, rec := range r.poolSends {
+		if rec.outcomes > 1 {
+			return fmt.Sprintf("pool send %d fired its outcome callback %d times", i, rec.outcomes), true
+		}
+	}
+	return "", false
+}
+
+// checkRebuildRate audits the pools' shared rebuild admission control:
+// (a) the limiter's arithmetic — it never admits more than its token
+// bucket bound allows by the current time — and (b) the pools' honesty —
+// every rebuild any pool ran was an admitted one. A pool that bypasses
+// admission (the rebuild-storm bug this checker exists for) shows more
+// rebuilds than admissions on its first bypassed rebuild, regardless of
+// storm size. Decidable under loss and partitions alike, so it is never
+// skipped.
+func checkRebuildRate(r *runner) (string, bool) {
+	var rebuilds uint64
+	for _, c := range r.clients {
+		if c.pool != nil {
+			rebuilds += c.pool.Stats.Rebuilds
+		}
+	}
+	bound := r.limiter.Bound(r.kernel.Now())
+	if float64(r.limiter.Admitted) > bound+1e-9 {
+		return fmt.Sprintf("limiter admitted %d rebuilds by t=%v, bucket bound %.2f",
+			r.limiter.Admitted, r.kernel.Now(), bound), true
+	}
+	if rebuilds > r.limiter.Admitted {
+		return fmt.Sprintf("pools ran %d rebuilds but the limiter admitted only %d",
+			rebuilds, r.limiter.Admitted), true
+	}
+	return "", false
+}
+
+// checkPoolReconverge verifies self-healing at quiescence: once every
+// partition healed and the repair horizon passed (the runner stops pools
+// only after poolRepairBudget), each pool must be back to its target
+// number of healthy tunnels. Skipped under packet loss, where probe
+// failures — and so repair timing — are not deterministic functions of
+// the schedule.
+func checkPoolReconverge(r *runner) (string, bool) {
+	if r.sc.Loss > 0 || r.net.PartitionActive() {
+		return "", false
+	}
+	for i, c := range r.clients {
+		if c.pool == nil {
+			continue
+		}
+		if got, want := c.pool.HealthyCount(), c.pool.TargetSize(); got != want {
+			return fmt.Sprintf("client %d pool has %d healthy tunnels at quiescence, want %d",
+				i, got, want), true
 		}
 	}
 	return "", false

@@ -6,20 +6,26 @@ import (
 )
 
 // mutationCase pairs a planted bug with the checker that must catch it.
+// maxShrunk bounds the shrunk counterexample size: the pool plants need
+// only a pool and one partition to fire, so their traces must shrink to
+// a handful of events.
 type mutationCase struct {
-	name    string
-	mut     Mutations
-	profile Profile
-	checker string
+	name      string
+	mut       Mutations
+	profile   Profile
+	checker   string
+	maxShrunk int
 }
 
 func mutationCases() []mutationCase {
 	return []mutationCase{
-		{"skip-migration", Mutations{SkipMigration: true}, ProfileStorage, "tha-replication"},
-		{"corrupt-leaf", Mutations{CorruptLeaf: true}, ProfileMembership, "leafset"},
-		{"drop-onion-layer", Mutations{DropOnionLayer: true}, ProfileFull, "tunnel-liveness"},
-		{"leak-payload", Mutations{LeakPayload: true}, ProfileFull, "no-plaintext"},
-		{"disable-ack-dedup", Mutations{DisableAckDedup: true}, ProfileFull, "exactly-once"},
+		{"skip-migration", Mutations{SkipMigration: true}, ProfileStorage, "tha-replication", 25},
+		{"corrupt-leaf", Mutations{CorruptLeaf: true}, ProfileMembership, "leafset", 25},
+		{"drop-onion-layer", Mutations{DropOnionLayer: true}, ProfileFull, "tunnel-liveness", 25},
+		{"leak-payload", Mutations{LeakPayload: true}, ProfileFull, "no-plaintext", 25},
+		{"disable-ack-dedup", Mutations{DisableAckDedup: true}, ProfileFull, "exactly-once", 25},
+		{"stall-rebuild", Mutations{StallRebuild: true}, ProfilePool, "pool-reconverge", 5},
+		{"uncapped-rebuild", Mutations{UncappedRebuild: true}, ProfilePool, "rebuild-rate", 5},
 	}
 }
 
@@ -73,10 +79,10 @@ func TestMutationsCaught(t *testing.T) {
 }
 
 // TestMutationShrinks runs the shrinker on each plant's first firing
-// scenario: the shrunk schedule must stay under the counterexample size
-// bound, still trip the same checker, and replay deterministically.
+// scenario: the shrunk schedule must stay under the case's
+// counterexample size bound, still trip the same checker, and replay
+// deterministically.
 func TestMutationShrinks(t *testing.T) {
-	const maxShrunkEvents = 25
 	for _, c := range mutationCases() {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
@@ -88,9 +94,9 @@ func TestMutationShrinks(t *testing.T) {
 			if sr.Violation.Checker != c.checker {
 				t.Fatalf("shrunk violation moved to checker %s, want %s", sr.Violation.Checker, c.checker)
 			}
-			if got := len(sr.Scenario.Events); got > maxShrunkEvents {
+			if got := len(sr.Scenario.Events); got > c.maxShrunk {
 				t.Fatalf("shrunk schedule has %d events, want <= %d (from %d)",
-					got, maxShrunkEvents, sr.Original)
+					got, c.maxShrunk, sr.Original)
 			}
 			if len(sr.Scenario.Events) >= sr.Original && sr.Original > 1 {
 				t.Fatalf("shrinker removed nothing (%d events)", sr.Original)

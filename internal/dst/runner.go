@@ -46,6 +46,15 @@ type Mutations struct {
 	// fresh: the exactly-once invariant must count more than one fresh
 	// delivery on some flow.
 	DisableAckDedup bool
+	// StallRebuild plants core.PoolConfig.DisableRebuild on every tunnel
+	// pool: dead slots never refill, and the pool-reconverge invariant
+	// must notice a pool below target size after the repair horizon.
+	StallRebuild bool
+	// UncappedRebuild plants core.PoolConfig.BypassAdmission on every
+	// tunnel pool: rebuilds skip the backoff and the shared rate limiter,
+	// and the rebuild-rate invariant must notice rebuilds the limiter
+	// never admitted.
+	UncappedRebuild bool
 }
 
 // Violation is one invariant failure, attributed to the schedule event
@@ -82,6 +91,23 @@ type Result struct {
 // quiescence even under the worst generated loss rate.
 const reliabilityBudget = 12
 
+// poolRepairBudget is how long after the last schedule event (or the
+// last partition heal, whichever is later) tunnel pools keep running
+// before the runner stops them so the kernel can drain. It must cover a
+// full worst-case repair: rate-limited rebuild admissions for every dead
+// slot plus the promotion hysteresis — the pool-reconverge invariant
+// demands pools be back at target size by this deadline.
+const poolRepairBudget = 120 * time.Second
+
+// poolRebuildRate and poolRebuildBurst parameterize the rebuild
+// admission limiter shared by every pool in a scenario. Slow enough
+// that a rebuild storm is visibly over budget, fast enough that honest
+// repairs finish within poolRepairBudget.
+const (
+	poolRebuildRate  = 0.05
+	poolRebuildBurst = 3
+)
+
 // minLiveFloor is the smallest live population failures may leave; it
 // keeps replica sets meaningful and the overlay far from its
 // refuse-to-kill-the-last-node edge.
@@ -95,9 +121,19 @@ type flowRec struct {
 	outcomes, fresh, dup int
 }
 
+// poolSendRec tracks one pool send's resolution. Pool flows are built
+// inside the pool (the engine flow id never surfaces), so they get their
+// own record kind; the outcome callback contract — exactly one firing —
+// is checked at quiescence like any flow's.
+type poolSendRec struct {
+	outcome  core.Outcome
+	outcomes int
+}
+
 type client struct {
 	in      *core.Initiator
 	tunnels []*core.Tunnel
+	pool    *core.TunnelPool
 }
 
 // runner is the per-execution world state.
@@ -124,7 +160,16 @@ type runner struct {
 	anchors    []id.ID
 	anchorSeen map[id.ID]struct{}
 
-	flows map[uint64]*flowRec
+	flows     map[uint64]*flowRec
+	poolSends []*poolSendRec
+
+	// limiter is the rebuild admission control shared by every pool in
+	// the scenario; the rebuild-rate invariant audits it.
+	limiter *core.RateLimiter
+	// hasPartitions notes whether the schedule contains partition events:
+	// under partitions the tunnel-liveness delivery clause is undecidable
+	// (a flow can exhaust while every hop anchor keeps a live replica).
+	hasPartitions bool
 
 	lastEvent     int
 	violation     *Violation
@@ -168,6 +213,7 @@ func Run(sc *Scenario, mut Mutations) *Result {
 			}
 		})
 	}
+	r.schedulePoolStop()
 	if err := r.kernel.Run(); err != nil {
 		res.Err = fmt.Errorf("dst: seed %d: %w", sc.Seed, err)
 		return res
@@ -188,7 +234,48 @@ func Run(sc *Scenario, mut Mutations) *Result {
 			res.Failed++
 		}
 	}
+	for _, rec := range r.poolSends {
+		if rec.outcomes > 0 && rec.outcome.Delivered {
+			res.Delivered++
+		} else if rec.outcomes > 0 {
+			res.Failed++
+		}
+	}
 	return res
+}
+
+// schedulePoolStop notes partition windows and — when the schedule
+// creates tunnel pools — arranges for every pool to stop after the
+// repair horizon: the last event or partition heal, plus
+// poolRepairBudget. Pools reschedule their own probe ticks forever, so
+// without the stop a pool scenario would never drain the kernel; with
+// it, quiescence doubles as the reconvergence deadline.
+func (r *runner) schedulePoolStop() {
+	hasPool := false
+	var horizon simnet.Time
+	for _, ev := range r.sc.Events {
+		end := ev.At
+		if ev.Kind == EvPartition {
+			r.hasPartitions = true
+			end += ev.Dur
+		}
+		if ev.Kind == EvPool {
+			hasPool = true
+		}
+		if end > horizon {
+			horizon = end
+		}
+	}
+	if !hasPool {
+		return
+	}
+	r.kernel.At(horizon+poolRepairBudget, func() {
+		for _, c := range r.clients {
+			if c.pool != nil {
+				c.pool.Stop()
+			}
+		}
+	})
 }
 
 // build assembles the world: overlay, storage, directory, network,
@@ -211,6 +298,7 @@ func (r *runner) build() error {
 	r.dir = tha.NewDirectory(ov, r.mgr)
 	r.svc = core.NewService(ov, r.dir, r.root.Split("svc"))
 
+	r.limiter = core.NewRateLimiter(poolRebuildRate, poolRebuildBurst)
 	r.kernel = simnet.NewKernel()
 	r.kernel.MaxSteps = 20_000_000
 	r.net = simnet.NewNetwork(r.kernel, simnet.DefaultLinkModel(sc.Seed), ov.NumAddrs())
@@ -373,6 +461,63 @@ func (r *runner) apply(ev Event) {
 			return
 		}
 		r.send(c, c.tunnels[ev.T%len(c.tunnels)], ev)
+	case EvPool:
+		c := r.client(ev.Client)
+		if c == nil || c.pool != nil {
+			r.skipped++
+			return
+		}
+		n, l := ev.N, ev.L
+		if n <= 0 {
+			n = 2
+		}
+		if l < 2 {
+			l = 2
+		}
+		pool, err := core.NewTunnelPool(c.in, r.eng, core.PoolConfig{
+			Size:            n,
+			Length:          l,
+			Limiter:         r.limiter,
+			DisableRebuild:  r.mut.StallRebuild,
+			BypassAdmission: r.mut.UncappedRebuild,
+		})
+		if err != nil {
+			// Not enough disjoint anchors under heavy churn is an honest
+			// formation failure, not an invariant breach.
+			r.skipped++
+			return
+		}
+		c.pool = pool
+		pool.Start()
+	case EvPartition:
+		c := r.client(ev.Client)
+		if c == nil || ev.Dur <= 0 {
+			r.skipped++
+			return
+		}
+		addr := c.in.Node().Ref().Addr
+		pid := r.net.StartPartition([]simnet.Addr{addr}, ev.Asym)
+		r.kernel.Schedule(ev.Dur, func() { r.net.HealPartition(pid) })
+	case EvPoolSend:
+		c := r.client(ev.Client)
+		if c == nil || c.pool == nil {
+			r.skipped++
+			return
+		}
+		payload := r.payload(ev.Size)
+		var dest id.ID
+		r.traffic.Bytes(dest[:])
+		rec := &poolSendRec{}
+		if err := c.pool.Send(dest, payload, func(o core.Outcome) {
+			rec.outcome = o
+			rec.outcomes++
+		}); err != nil {
+			// A degraded fast-fail is the pool's graceful-degradation
+			// contract (e.g. the client is partitioned), not a violation.
+			r.skipped++
+			return
+		}
+		r.poolSends = append(r.poolSends, rec)
 	default:
 		r.skipped++
 	}

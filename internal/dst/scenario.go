@@ -44,6 +44,18 @@ const (
 	EvForm EventKind = "form"
 	// EvSend has a client send a reliable forward-tunnel flow.
 	EvSend EventKind = "send"
+	// EvPool has a client build and start a self-healing tunnel pool of N
+	// tunnels of length L (deploying any missing anchors itself). At most
+	// one pool per client; a second EvPool skips.
+	EvPool EventKind = "pool"
+	// EvPartition cuts the client's node off from the rest of the network
+	// for Dur (symmetric by default; Asym drops only traffic into the
+	// client). Healing is scheduled automatically, so a partition window
+	// stays self-contained under shrinking.
+	EvPartition EventKind = "partition"
+	// EvPoolSend has a client send through its tunnel pool (failover and
+	// fast-fail semantics) rather than over one fixed tunnel.
+	EvPoolSend EventKind = "pool-send"
 )
 
 // Event is one concrete schedule step. Selector fields (Addr, Addrs, T)
@@ -57,12 +69,15 @@ type Event struct {
 	Addr  uint64   `json:"addr,omitempty"`  // fail: victim selector
 	Addrs []uint64 `json:"addrs,omitempty"` // batch-fail: victim selectors
 
-	Client int  `json:"client,omitempty"` // deploy/form/send: client index
-	N      int  `json:"n,omitempty"`      // deploy: anchor count
-	L      int  `json:"l,omitempty"`      // form: tunnel length
+	Client int  `json:"client,omitempty"` // deploy/form/send/pool/partition: client index
+	N      int  `json:"n,omitempty"`      // deploy: anchor count; pool: pool size
+	L      int  `json:"l,omitempty"`      // form/pool: tunnel length
 	T      int  `json:"t,omitempty"`      // send: tunnel selector (mod formed tunnels)
-	Size   int  `json:"size,omitempty"`   // send: payload bytes
+	Size   int  `json:"size,omitempty"`   // send/pool-send: payload bytes
 	Hints  bool `json:"hints,omitempty"`  // send: use a freshly refreshed hint cache
+
+	Asym bool        `json:"asym,omitempty"` // partition: inbound-only cut
+	Dur  simnet.Time `json:"dur,omitempty"`  // partition: window length
 }
 
 // Profile selects which event mix the generator draws from.
@@ -78,6 +93,11 @@ const (
 	// ProfileStorage drives membership churn plus anchor deployments,
 	// with no traffic: the THA replication property surface.
 	ProfileStorage Profile = "storage"
+	// ProfilePool drives tunnel pools through churn and network
+	// partitions: the self-healing property surface (reconvergence and
+	// rebuild admission control). Loss-free by construction so pool
+	// reconvergence stays decidable.
+	ProfilePool Profile = "pool"
 )
 
 // Scenario is one replayable simulation: world shape, fault knobs, and
@@ -178,9 +198,18 @@ func Gen(seed uint64, profile Profile) *Scenario {
 		for c := 0; c < sc.Clients; c++ {
 			sc.Events = append(sc.Events, Event{At: next(), Kind: EvDeploy, Client: c, N: 8})
 		}
+	case ProfilePool:
+		for c := 0; c < sc.Clients; c++ {
+			sc.Events = append(sc.Events, Event{At: next(), Kind: EvPool, Client: c, N: 2, L: 2})
+		}
 	}
 
 	n := 20 + evs.Intn(30)
+	if profile == ProfilePool {
+		// Pool scenarios run a long post-schedule repair horizon, so keep
+		// the schedules themselves shorter.
+		n = 12 + evs.Intn(12)
+	}
 	for i := 0; i < n; i++ {
 		sc.Events = append(sc.Events, genEvent(sc, profile, evs, next()))
 	}
@@ -204,6 +233,28 @@ func genEvent(sc *Scenario, profile Profile, evs *rng.Stream, at simnet.Time) Ev
 			for i, m := 0, 2+evs.Intn(5); i < m; i++ {
 				ev.Addrs = append(ev.Addrs, uint64(evs.Intn(1<<16)))
 			}
+		}
+	case ProfilePool:
+		switch {
+		case roll < 15:
+			ev.Kind = EvJoin
+		case roll < 35:
+			ev.Kind = EvFail
+			ev.Addr = uint64(evs.Intn(1 << 16))
+		case roll < 45:
+			ev.Kind = EvBatchFail
+			for i, m := 0, 2+evs.Intn(5); i < m; i++ {
+				ev.Addrs = append(ev.Addrs, uint64(evs.Intn(1<<16)))
+			}
+		case roll < 65:
+			ev.Kind = EvPartition
+			ev.Client = evs.Intn(sc.Clients)
+			ev.Asym = evs.Bool(0.3)
+			ev.Dur = simnet.Time(20+evs.Intn(41)) * time.Second
+		default:
+			ev.Kind = EvPoolSend
+			ev.Client = evs.Intn(sc.Clients)
+			ev.Size = 256 + evs.Intn(1024)
 		}
 	case ProfileStorage:
 		switch {

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tap/internal/core"
+	"tap/internal/id"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+	"tap/internal/trace"
+)
+
+// ExtSelfHealParams configures the self-healing-pool experiment: a
+// long-running client sending through a TunnelPool versus the same
+// client riding one fixed tunnel, both under sustained correlated churn.
+// Every Epoch a random ChurnRate fraction of the network fails as one
+// batch (replica migration suspended, the Figure 2 correlated-failure
+// model — the only failure mode that actually kills anchors) and the
+// same number of fresh nodes join. The paper's §6 hop takeover keeps
+// tunnels alive under *graceful* single-node churn; this experiment
+// measures what the pool's probing, failover and rebuilding buy once
+// churn is batched and replication is thin (k=2), so tunnels genuinely
+// die mid-session.
+type ExtSelfHealParams struct {
+	N      int
+	K      int // replication factor; default 2 so batch churn kills anchors
+	Length int
+	// PoolSize is the pool's target tunnel count; Singles is how many
+	// independent single-tunnel baseline clients run alongside it (their
+	// availabilities average into one baseline series).
+	PoolSize int
+	Singles  int
+	// ChurnRates are the per-epoch batch-failure fractions swept on the x
+	// axis; Epoch and Horizon set the churn cadence and session length.
+	ChurnRates []float64
+	Epoch      simnet.Time
+	Horizon    simnet.Time
+	// SendEvery is the client send cadence; PayloadBytes each send's size.
+	SendEvery    simnet.Time
+	PayloadBytes int
+	// MaxAttempts is the baseline's end-to-end retransmit budget (the
+	// pool uses its own per-flow budgets).
+	MaxAttempts int
+	Trials      int
+	Seed        uint64
+}
+
+func (p ExtSelfHealParams) withDefaults() ExtSelfHealParams {
+	if p.N == 0 {
+		p.N = 250
+	}
+	if p.K == 0 {
+		p.K = 2
+	}
+	if p.Length == 0 {
+		p.Length = 3
+	}
+	if p.PoolSize == 0 {
+		p.PoolSize = 3
+	}
+	if p.Singles == 0 {
+		p.Singles = 8
+	}
+	if len(p.ChurnRates) == 0 {
+		p.ChurnRates = []float64{0.02, 0.05, 0.10}
+	}
+	if p.Epoch == 0 {
+		p.Epoch = 30 * time.Second
+	}
+	if p.Horizon == 0 {
+		p.Horizon = 600 * time.Second
+	}
+	if p.SendEvery == 0 {
+		p.SendEvery = 2 * time.Second
+	}
+	if p.PayloadBytes == 0 {
+		p.PayloadBytes = 512
+	}
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.Trials == 0 {
+		p.Trials = 2
+	}
+	if p.Seed == 0 {
+		p.Seed = 2004
+	}
+	return p
+}
+
+// Series names for the self-healing experiment.
+const (
+	SeriesAvailPool   = "avail(pool)"
+	SeriesAvailSingle = "avail(single)"
+	SeriesTTRPool     = "ttr_s(pool)"
+)
+
+// ExtSelfHeal reports send availability (delivered fraction) for the
+// pooled and single-tunnel clients, and the pool's mean time-to-repair —
+// first probe failure to promoted replacement — per churn rate. Pool and
+// baseline clients share one world, one kernel and the identical churn
+// schedule, so the comparison is paired, not sampled.
+func ExtSelfHeal(p ExtSelfHealParams) (*trace.Table, error) {
+	p = p.withDefaults()
+	tbl := newSyncTable(
+		fmt.Sprintf("Ext: self-healing pools — availability and time-to-repair under batch churn (N=%d, k=%d, l=%d, pool=%d, %v session, trials=%d)",
+			p.N, p.K, p.Length, p.PoolSize, p.Horizon, p.Trials),
+		"churn %/epoch",
+		SeriesAvailPool, SeriesAvailSingle, SeriesTTRPool)
+	type job struct{ ci, trial int }
+	var jobs []job
+	for ci := range p.ChurnRates {
+		for tr := 0; tr < p.Trials; tr++ {
+			jobs = append(jobs, job{ci, tr})
+		}
+	}
+	root := rng.New(p.Seed)
+	err := Parallel(len(jobs), func(i int) error {
+		j := jobs[i]
+		frac := p.ChurnRates[j.ci]
+		stream := root.SplitN(fmt.Sprintf("selfheal-c%d", j.ci), j.trial)
+		res, err := runSelfHealTrial(p, frac, stream)
+		if err != nil {
+			return err
+		}
+		x := frac * 100
+		tbl.Add(x, SeriesAvailPool, res.availPool)
+		tbl.Add(x, SeriesAvailSingle, res.availSingle)
+		if res.repairs > 0 {
+			tbl.Add(x, SeriesTTRPool, res.ttr.Seconds())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tbl.Table(), nil
+}
+
+// selfHealResult is one trial's measurement.
+type selfHealResult struct {
+	availPool   float64
+	availSingle float64
+	ttr         simnet.Time
+	repairs     uint64
+	poolStats   core.PoolStats
+}
+
+// runSelfHealTrial runs one world with a pooled client and Singles
+// baseline clients through Horizon of batch churn.
+func runSelfHealTrial(p ExtSelfHealParams, frac float64, stream *rng.Stream) (selfHealResult, error) {
+	var res selfHealResult
+	w, err := BuildWorld(p.N, p.K, stream.Split("world"))
+	if err != nil {
+		return res, err
+	}
+	kernel := simnet.NewKernel()
+	kernel.MaxSteps = 0
+	net := simnet.NewNetwork(kernel, simnet.DefaultLinkModel(stream.Seed()), w.OV.NumAddrs())
+	w.Svc.Net = net
+	eng := core.NewNetEngine(w.Svc, net)
+	eng.EnableReliability(core.Reliability{MaxAttempts: p.MaxAttempts})
+
+	// Clients are exempt from churn: a dead initiator measures nothing.
+	protected := make(map[simnet.Addr]bool)
+	cs := stream.Split("clients")
+
+	poolNode := w.OV.RandomLive(cs)
+	protected[poolNode.Ref().Addr] = true
+	poolIn, err := core.NewInitiator(w.Svc, poolNode, cs.Split("pool-init"))
+	if err != nil {
+		return res, err
+	}
+	pool, err := core.NewTunnelPool(poolIn, eng, core.PoolConfig{
+		Size:   p.PoolSize,
+		Length: p.Length,
+	})
+	if err != nil {
+		return res, err
+	}
+	pool.Start()
+
+	type single struct {
+		origin simnet.Addr
+		tun    *core.Tunnel
+		cache  *core.HintCache
+	}
+	singles := make([]*single, 0, p.Singles)
+	for i := 0; i < p.Singles; i++ {
+		node := w.OV.RandomLive(cs)
+		for protected[node.Ref().Addr] {
+			node = w.OV.RandomLive(cs)
+		}
+		protected[node.Ref().Addr] = true
+		in, err := core.NewInitiator(w.Svc, node, cs.SplitN("single-init", i))
+		if err != nil {
+			return res, err
+		}
+		if err := in.DeployDirect(p.Length); err != nil {
+			return res, err
+		}
+		tun, err := in.FormTunnel(p.Length)
+		if err != nil {
+			return res, err
+		}
+		cache := core.NewHintCache()
+		if err := cache.Refresh(w.Svc, tun); err != nil {
+			return res, err
+		}
+		singles = append(singles, &single{origin: node.Ref().Addr, tun: tun, cache: cache})
+	}
+
+	// Batch churn: every epoch, kill a random frac of the network in one
+	// correlated batch (migration suspended — an anchor whose replicas all
+	// fall in the batch is lost for good) and join the same number of
+	// fresh nodes so the population and routability hold steady.
+	churn := stream.Split("churn")
+	kills := int(frac*float64(p.N) + 0.5)
+	churnEpoch := func() {
+		taken := make(map[simnet.Addr]bool)
+		var victims []simnet.Addr
+		for tries := 0; len(victims) < kills && tries < kills*20; tries++ {
+			a := w.OV.RandomLive(churn).Ref().Addr
+			if protected[a] || taken[a] {
+				continue
+			}
+			taken[a] = true
+			victims = append(victims, a)
+		}
+		w.Mgr.BeginBatch()
+		for _, a := range victims {
+			if err := w.OV.Fail(a); err == nil {
+				net.Detach(a)
+			}
+		}
+		w.Mgr.EndBatch()
+		for range victims {
+			w.OV.Join()
+		}
+	}
+	for at := p.Epoch; at < p.Horizon; at += p.Epoch {
+		kernel.At(at, churnEpoch)
+	}
+
+	// The paired workload: every SendEvery, one pool send and one send per
+	// baseline client. A pool fast-fail (degraded) counts as a failed
+	// send — refusing service is still unavailability.
+	traffic := stream.Split("traffic")
+	var poolSent, poolOK, singleSent, singleOK int
+	sendRound := func() {
+		var dest id.ID
+		traffic.Bytes(dest[:])
+		poolSent++
+		_ = pool.Send(dest, make([]byte, p.PayloadBytes), func(o core.Outcome) {
+			if o.Delivered {
+				poolOK++
+			}
+		})
+		for _, s := range singles {
+			var d id.ID
+			traffic.Bytes(d[:])
+			singleSent++
+			env, err := core.BuildForwardWithCache(s.tun, s.cache, d, make([]byte, p.PayloadBytes), traffic)
+			if err != nil {
+				continue
+			}
+			eng.SendForward(s.origin, env, func(o core.Outcome) {
+				if o.Delivered {
+					singleOK++
+				}
+			})
+		}
+	}
+	for at := simnet.Time(0); at < p.Horizon; at += p.SendEvery {
+		kernel.At(at, sendRound)
+	}
+	kernel.At(p.Horizon, pool.Stop)
+
+	if err := kernel.Run(); err != nil {
+		return res, err
+	}
+	res.availPool = float64(poolOK) / float64(poolSent)
+	res.availSingle = float64(singleOK) / float64(singleSent)
+	res.ttr = pool.MeanRepairTime()
+	res.repairs = pool.Stats.Repairs
+	res.poolStats = pool.Stats
+	return res, nil
+}

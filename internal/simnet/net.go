@@ -89,12 +89,13 @@ func (m LinkModel) HopDelay(a, b Addr, size int) time.Duration {
 
 // Stats counts network-level activity for an experiment run.
 type Stats struct {
-	MessagesSent      uint64
-	MessagesDelivered uint64
-	MessagesDropped   uint64 // destination dead or down at delivery time
-	MessagesLost      uint64 // lost in transit or sent by a crashed node (FaultPlan)
-	LatencySpikes     uint64 // transmissions delayed by a FaultPlan spike
-	BytesSent         uint64
+	MessagesSent        uint64
+	MessagesDelivered   uint64
+	MessagesDropped     uint64 // destination dead or down at delivery time
+	MessagesLost        uint64 // lost in transit or sent by a crashed node (FaultPlan)
+	MessagesPartitioned uint64 // lost crossing an active partition boundary
+	LatencySpikes       uint64 // transmissions delayed by a FaultPlan spike
+	BytesSent           uint64
 }
 
 // Network binds the kernel, the link model, and the attached nodes.
@@ -129,6 +130,19 @@ type Network struct {
 	// faults is the installed FaultPlan state; nil means a fault-free
 	// network (the default).
 	faults *faultState
+
+	// partitions holds the active partitions by id. Independent of the
+	// FaultPlan so tests and higher layers can cut and heal links at
+	// runtime without scheduling a full plan.
+	partitions  map[int]*partition
+	nextPartID  int
+	addrWatches []func(addr Addr, up bool)
+}
+
+// partition is one active cut: a member set separated from the rest.
+type partition struct {
+	members map[Addr]bool
+	asym    bool
 }
 
 // NewNetwork returns a network with capacity for n addresses.
@@ -157,10 +171,14 @@ func (n *Network) Detach(addr Addr) {
 	if int(addr) < 0 || int(addr) >= len(n.handlers) {
 		return
 	}
+	wasAttached := n.handlers[addr] != nil
 	n.handlers[addr] = nil
 	// A crashed node's uplink dies with it: a later restart at this
 	// address must not inherit the stale uplink-busy horizon.
 	delete(n.uplinkFree, addr)
+	if wasAttached {
+		n.notifyAddr(addr, false)
+	}
 }
 
 // Attached reports whether addr currently has a live handler.
@@ -190,6 +208,13 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 	if n.faults != nil && n.faults.down[src] {
 		// A node inside a crash window transmits nothing.
 		n.Stats.MessagesLost++
+		return
+	}
+	if len(n.partitions) > 0 && n.Partitioned(src, dst) {
+		// The transmission would cross a severed boundary; the bits never
+		// arrive. Checked at send time: messages already in flight when a
+		// partition starts are considered to have cleared the cut.
+		n.Stats.MessagesPartitioned++
 		return
 	}
 	var delay Time
@@ -237,3 +262,77 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 
 // Now exposes the kernel clock, saving callers a dereference.
 func (n *Network) Now() Time { return n.Kernel.Now() }
+
+// --- partitions -------------------------------------------------------------
+
+// StartPartition severs the member set from the rest of the network and
+// returns a handle for HealPartition. Traffic among members, and among
+// non-members, is unaffected. With asym false the cut is bidirectional;
+// with asym true only traffic into the member set is lost (members can
+// still transmit outward) — see PartitionWindow. Self-addressed messages
+// never cross a link and are always exempt.
+func (n *Network) StartPartition(members []Addr, asym bool) int {
+	p := &partition{members: make(map[Addr]bool, len(members)), asym: asym}
+	for _, a := range members {
+		p.members[a] = true
+	}
+	if n.partitions == nil {
+		n.partitions = make(map[int]*partition)
+	}
+	id := n.nextPartID
+	n.nextPartID++
+	n.partitions[id] = p
+	return id
+}
+
+// HealPartition removes a partition previously started with
+// StartPartition. Healing an unknown or already-healed id is a no-op.
+func (n *Network) HealPartition(id int) {
+	delete(n.partitions, id)
+}
+
+// PartitionActive reports whether any partition is currently in force.
+func (n *Network) PartitionActive() bool { return len(n.partitions) > 0 }
+
+// Partitioned reports whether a transmission from src to dst would be
+// lost to an active partition.
+func (n *Network) Partitioned(src, dst Addr) bool {
+	if src == dst {
+		return false
+	}
+	for _, p := range n.partitions {
+		srcIn, dstIn := p.members[src], p.members[dst]
+		if srcIn == dstIn {
+			continue // both sides of the same boundary
+		}
+		if p.asym {
+			if dstIn {
+				return true // inbound traffic to a member is cut
+			}
+			continue // outbound from a member still flows
+		}
+		return true
+	}
+	return false
+}
+
+// --- address availability watchers ------------------------------------------
+
+// WatchAddrs registers fn to observe per-address availability
+// transitions: fn(addr, false) when the address goes down (a crash window
+// opens, or the handler is detached) and fn(addr, true) when a crash
+// window ends. Watchers run synchronously on the event loop, in
+// registration order, after the FaultPlan's own OnCrash/OnRestart hooks —
+// so a watcher observes the post-transition world. This is the
+// deterministic down/up signal the tunnel-pool prober and the tests
+// subscribe to.
+func (n *Network) WatchAddrs(fn func(addr Addr, up bool)) {
+	n.addrWatches = append(n.addrWatches, fn)
+}
+
+// notifyAddr fans an availability transition out to the watchers.
+func (n *Network) notifyAddr(addr Addr, up bool) {
+	for _, fn := range n.addrWatches {
+		fn(addr, up)
+	}
+}

@@ -1,0 +1,193 @@
+package simnet
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestFaultPlanJSONRoundTrip(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:      99,
+		LossRate:  0.05,
+		SpikeRate: 0.01,
+		SpikeMin:  10 * time.Millisecond,
+		SpikeMax:  250 * time.Millisecond,
+		Crashes: []CrashWindow{
+			{Addr: 3, At: 2 * time.Second, Restart: 7 * time.Second},
+			{Addr: 5, At: 4 * time.Second}, // never restarts
+		},
+		Partitions: []PartitionWindow{
+			{Members: []Addr{1, 2}, At: time.Second, Heal: 9 * time.Second},
+			{Members: []Addr{7}, At: 3 * time.Second, Asym: true},
+		},
+	}
+	raw, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FaultPlan
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	// The notification hooks are runtime-only and excluded from the
+	// artifact; everything else must survive.
+	want := *plan
+	want.OnCrash, want.OnRestart = nil, nil
+	if !reflect.DeepEqual(back, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, want)
+	}
+}
+
+func TestPartitionSymmetricCutsBothDirections(t *testing.T) {
+	k, net, got := faultNet(t, nil)
+	id := net.StartPartition([]Addr{0}, false)
+	net.Send(0, 1, testMsg{size: 10}) // member -> outside: cut
+	net.Send(1, 0, testMsg{size: 10}) // outside -> member: cut
+	net.Send(1, 2, testMsg{size: 10}) // outside -> outside: flows
+	net.Send(0, 0, testMsg{size: 10}) // self: always exempt
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("deliveries = %v, want [1 0 1 0]", got)
+	}
+	if net.Stats.MessagesPartitioned != 2 {
+		t.Fatalf("MessagesPartitioned = %d, want 2", net.Stats.MessagesPartitioned)
+	}
+	net.HealPartition(id)
+	net.Send(0, 1, testMsg{size: 10})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 1 {
+		t.Fatalf("delivery after heal did not arrive (got[1]=%d)", got[1])
+	}
+	if net.PartitionActive() {
+		t.Fatal("PartitionActive after heal")
+	}
+}
+
+func TestPartitionAsymmetricCutsInboundOnly(t *testing.T) {
+	k, net, got := faultNet(t, nil)
+	net.StartPartition([]Addr{0}, true)
+	net.Send(0, 1, testMsg{size: 10}) // member outbound: flows
+	net.Send(1, 0, testMsg{size: 10}) // inbound to member: cut
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 1 {
+		t.Fatal("asymmetric partition cut the member's outbound traffic")
+	}
+	if got[0] != 0 {
+		t.Fatal("asymmetric partition delivered inbound traffic to the member")
+	}
+	if net.Stats.MessagesPartitioned != 1 {
+		t.Fatalf("MessagesPartitioned = %d, want 1", net.Stats.MessagesPartitioned)
+	}
+}
+
+func TestPartitionMemberToMemberFlows(t *testing.T) {
+	k, net, got := faultNet(t, nil)
+	net.StartPartition([]Addr{0, 1}, false)
+	net.Send(0, 1, testMsg{size: 10})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 1 {
+		t.Fatal("traffic between two members of the same partition was cut")
+	}
+}
+
+func TestPartitionWindowScheduledByPlan(t *testing.T) {
+	k, net, got := faultNet(t, &FaultPlan{
+		Seed: 1,
+		Partitions: []PartitionWindow{
+			{Members: []Addr{2}, At: time.Second, Heal: 3 * time.Second},
+		},
+	})
+	// Before, during, and after the window. Sends are scheduled on the
+	// kernel so the window edges fire in between.
+	k.At(500*time.Millisecond, func() { net.Send(0, 2, testMsg{size: 10}) })
+	k.At(2*time.Second, func() { net.Send(0, 2, testMsg{size: 10}) })
+	k.At(4*time.Second, func() { net.Send(0, 2, testMsg{size: 10}) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 2 {
+		t.Fatalf("deliveries to member = %d, want 2 (only the mid-window send cut)", got[2])
+	}
+	if net.PartitionActive() {
+		t.Fatal("partition still active after scheduled heal")
+	}
+}
+
+// TestWatchAddrsObservesCrashEdgesAndDetach is the satellite-2 regression:
+// crash/restart windows and Detach must emit deterministic per-address
+// down/up events that higher layers (the pool's probes, tests) can
+// subscribe to.
+func TestWatchAddrsObservesCrashEdgesAndDetach(t *testing.T) {
+	type ev struct {
+		addr Addr
+		up   bool
+		at   Time
+	}
+	run := func() []ev {
+		k, net, _ := faultNet(t, &FaultPlan{
+			Seed: 1,
+			Crashes: []CrashWindow{
+				{Addr: 1, At: time.Second, Restart: 2 * time.Second},
+				{Addr: 3, At: 1500 * time.Millisecond}, // never restarts
+			},
+		})
+		var log []ev
+		net.WatchAddrs(func(a Addr, up bool) { log = append(log, ev{a, up, k.Now()}) })
+		k.At(3*time.Second, func() { net.Detach(2) })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	want := []ev{
+		{1, false, time.Second},
+		{3, false, 1500 * time.Millisecond},
+		{1, true, 2 * time.Second},
+		{2, false, 3 * time.Second},
+	}
+	got := run()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("watcher log = %v, want %v", got, want)
+	}
+	if again := run(); !reflect.DeepEqual(again, got) {
+		t.Fatalf("watcher log not deterministic across runs: %v vs %v", again, got)
+	}
+}
+
+func TestWatchAddrsRunsAfterPlanHooks(t *testing.T) {
+	// A watcher must observe the post-transition world: the plan's own
+	// OnCrash/OnRestart hooks run first.
+	var order []string
+	k, net, _ := faultNet(t, nil)
+	plan := &FaultPlan{
+		Seed:      1,
+		Crashes:   []CrashWindow{{Addr: 1, At: time.Second, Restart: 2 * time.Second}},
+		OnCrash:   func(Addr) { order = append(order, "hook-down") },
+		OnRestart: func(Addr) { order = append(order, "hook-up") },
+	}
+	net.InstallFaults(plan)
+	net.WatchAddrs(func(a Addr, up bool) {
+		if up {
+			order = append(order, "watch-up")
+		} else {
+			order = append(order, "watch-down")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"hook-down", "watch-down", "hook-up", "watch-up"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
