@@ -77,7 +77,7 @@ type group struct {
 }
 
 var defaultGroups = []group{
-	{name: "hot", pattern: "^(BenchmarkLayeredSeal|BenchmarkLayeredPeel|BenchmarkPoolProbeCycle)$", benchtime: "500ms", count: 10},
+	{name: "hot", pattern: "^(BenchmarkLayeredSeal|BenchmarkLayeredPeel|BenchmarkPoolProbeCycle|BenchmarkKernelScheduleRun)$", benchtime: "500ms", count: 10},
 	{name: "micro", pattern: "^(BenchmarkSeal|BenchmarkOpen|BenchmarkSealer|BenchmarkPastryRoute|BenchmarkOverlayBuild|BenchmarkTunnelWalk|BenchmarkPastryJoinProtocol|BenchmarkReplicaMigration|BenchmarkSecureLookup)", benchtime: "200ms", count: 3},
 	{name: "figures", pattern: "^(BenchmarkFig|BenchmarkExt|BenchmarkAblation)", benchtime: "1x", count: 1},
 }
@@ -92,8 +92,33 @@ func main() {
 		pkgs            = flag.String("pkgs", "./...", "package pattern handed to go test")
 		maxRegress      = flag.Float64("max-regress", 0, "exit non-zero if any ns/op regresses more than this percent vs -baseline (0 = report only)")
 		maxAllocRegress = flag.Float64("max-alloc-regress", 0, "exit non-zero if any allocs/op regresses more than this percent vs -baseline (0 = report only)")
+		cpuProfile      = flag.String("cpuprofile", "", "pass -cpuprofile to go test (requires -pkgs to name a single package)")
+		memProfile      = flag.String("memprofile", "", "pass -memprofile to go test (requires -pkgs to name a single package)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" || *memProfile != "" {
+		// go test rejects -cpuprofile/-memprofile across multiple packages,
+		// and successive groups would overwrite the profile file: profiling
+		// runs must pin one package and one group.
+		if strings.Contains(*pkgs, "...") {
+			fmt.Fprintln(os.Stderr, "tapbench: -cpuprofile/-memprofile need -pkgs to name a single package (e.g. -pkgs .)")
+			os.Exit(2)
+		}
+		if strings.Contains(*groupsFlag, ",") {
+			fmt.Fprintln(os.Stderr, "tapbench: -cpuprofile/-memprofile need a single -groups entry (e.g. -groups hot)")
+			os.Exit(2)
+		}
+	}
+	profileArgs := func() (out []string) {
+		if *cpuProfile != "" {
+			out = append(out, "-cpuprofile="+*cpuProfile)
+		}
+		if *memProfile != "" {
+			out = append(out, "-memprofile="+*memProfile)
+		}
+		return out
+	}()
 
 	selected := map[string]bool{}
 	for _, g := range strings.Split(*groupsFlag, ",") {
@@ -118,7 +143,7 @@ func main() {
 		if *quick {
 			g.benchtime, g.count = "1x", 1
 		}
-		results, err := runGroup(g, *only, *pkgs)
+		results, err := runGroup(g, *only, *pkgs, profileArgs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tapbench: group %s: %v\n", g.name, err)
 			os.Exit(1)
@@ -156,10 +181,12 @@ func main() {
 }
 
 // runGroup shells out to go test for one group and aggregates its output.
-func runGroup(g group, only, pkgs string) ([]Result, error) {
+func runGroup(g group, only, pkgs string, extraArgs []string) ([]Result, error) {
 	pattern := g.pattern
 	args := []string{"test", "-run=^$", "-bench=" + pattern, "-benchmem",
-		"-benchtime=" + g.benchtime, "-count=" + strconv.Itoa(g.count), pkgs}
+		"-benchtime=" + g.benchtime, "-count=" + strconv.Itoa(g.count)}
+	args = append(args, extraArgs...)
+	args = append(args, pkgs)
 	fmt.Fprintf(os.Stderr, "tapbench: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr

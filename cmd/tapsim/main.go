@@ -43,6 +43,9 @@ func main() {
 		units   = flag.Int("units", 20, "fig5: churn time units")
 		tails   = flag.Bool("tails", false, "fig6: also report p95 per mode")
 		contend = flag.Bool("contention", false, "fig6: per-node uplink queuing in the link model")
+		sizes   = flag.String("sizes", "", "ext-scale: comma-separated network sizes (default 1000,10000,100000,1000000)")
+		routes  = flag.Int("routes", 0, "ext-scale: measured routes per size (default 10000)")
+		budget  = flag.Duration("budget", 0, "ext-scale: fail if the sweep exceeds this wall-clock budget (0 = none)")
 		outDir  = flag.String("out", "", "also write each table as CSV into this directory")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -258,6 +261,25 @@ func main() {
 			})
 		})
 	}
+	if strings.EqualFold(*exp, "ext-scale") {
+		matched = true
+		var sz []int
+		if *sizes != "" {
+			for _, s := range strings.Split(*sizes, ",") {
+				var v int
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil || v < 1 {
+					fmt.Fprintf(os.Stderr, "tapsim: -sizes: bad size %q\n", s)
+					os.Exit(2)
+				}
+				sz = append(sz, v)
+			}
+		}
+		run("ext-scale", func() (*trace.Table, error) {
+			return experiments.ExtScale(experiments.ExtScaleParams{
+				Sizes: sz, Routes: *routes, Seed: *seed, Budget: *budget,
+			})
+		})
+	}
 	if strings.EqualFold(*exp, "ext") {
 		matched = true
 		run("ext-secroute", func() (*trace.Table, error) {
@@ -289,7 +311,7 @@ func main() {
 		})
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "tapsim: unknown experiment %q (want fig2|fig3|fig4a|fig4b|fig5|fig6|all|ext|ext-secroute|ext-detect|ext-cover|ext-anon|ext-session|ext-inflight|ext-timing|ext-reliability|ext-selfheal)\n", *exp)
+		fmt.Fprintf(os.Stderr, "tapsim: unknown experiment %q (want fig2|fig3|fig4a|fig4b|fig5|fig6|all|ext|ext-secroute|ext-detect|ext-cover|ext-anon|ext-session|ext-inflight|ext-timing|ext-reliability|ext-selfheal|ext-scale)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"tap/internal/cover"
 	"tap/internal/detect"
 	"tap/internal/id"
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/secroute"
 	"tap/internal/simnet"
@@ -75,11 +76,11 @@ func ExtSecRoute(p ExtSecRouteParams) (*trace.Table, error) {
 		}
 	}
 	root := rng.New(p.Seed)
-	err := Parallel(len(jobs), func(i int) error {
+	err := ParallelScratch(len(jobs), func(i int, mem *pastry.Scratch) error {
 		j := jobs[i]
 		frac := p.Fracs[j.fIdx]
 		stream := root.SplitN(fmt.Sprintf("extsec-f%d", j.fIdx), j.trial)
-		w, err := BuildWorld(p.N, 3, stream.Split("world"))
+		w, err := BuildWorldIn(mem, p.N, 3, stream.Split("world"))
 		if err != nil {
 			return err
 		}
@@ -189,11 +190,11 @@ func ExtDetect(p ExtDetectParams) (*trace.Table, error) {
 		}
 	}
 	root := rng.New(p.Seed)
-	err := Parallel(len(jobs), func(i int) error {
+	err := ParallelScratch(len(jobs), func(i int, mem *pastry.Scratch) error {
 		j := jobs[i]
 		frac := p.Fracs[j.fIdx]
 		stream := root.SplitN(fmt.Sprintf("extdet-f%d", j.fIdx), j.trial)
-		w, err := BuildWorld(p.N, 3, stream.Split("world"))
+		w, err := BuildWorldIn(mem, p.N, 3, stream.Split("world"))
 		if err != nil {
 			return err
 		}
@@ -336,11 +337,11 @@ func ExtCover(p ExtCoverParams) (*trace.Table, error) {
 			p.N, p.Transfers, p.FileBytes, p.Trials),
 		"rate", SeriesOverheadX, SeriesCoverMsgs)
 	root := rng.New(p.Seed)
-	err := Parallel(p.Trials, func(trial int) error {
+	err := ParallelScratch(p.Trials, func(trial int, mem *pastry.Scratch) error {
 		stream := root.SplitN("extcover", trial)
 		var baseline float64
 		for _, rate := range p.Rates {
-			w, err := BuildWorld(p.N, 3, stream.SplitN("world", int(rate*100)))
+			w, err := BuildWorldIn(mem, p.N, 3, stream.SplitN("world", int(rate*100)))
 			if err != nil {
 				return err
 			}

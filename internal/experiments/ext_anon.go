@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tap/internal/anonmetrics"
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/trace"
 )
@@ -64,9 +65,9 @@ func ExtAnon(p ExtAnonParams) (*trace.Table, error) {
 			p.N, p.Tunnels, p.Length, p.K, p.Trials),
 		"p", SeriesDegree, SeriesIdentified)
 	root := rng.New(p.Seed)
-	err := Parallel(p.Trials, func(trial int) error {
+	err := ParallelScratch(p.Trials, func(trial int, mem *pastry.Scratch) error {
 		stream := root.SplitN("extanon", trial)
-		w, err := BuildWorld(p.N, p.K, stream.Split("world"))
+		w, err := BuildWorldIn(mem, p.N, p.K, stream.Split("world"))
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@ import (
 	"tap/internal/churn"
 	"tap/internal/core"
 	"tap/internal/id"
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/simnet"
 	"tap/internal/trace"
@@ -77,7 +78,7 @@ func ExtInflight(p ExtInflightParams) (*trace.Table, error) {
 		}
 	}
 	root := rng.New(p.Seed)
-	err := Parallel(len(jobs), func(i int) error {
+	err := ParallelScratch(len(jobs), func(i int, mem *pastry.Scratch) error {
 		j := jobs[i]
 		gap := p.MeanGaps[j.gIdx]
 		perMin := 0.0
@@ -85,7 +86,7 @@ func ExtInflight(p ExtInflightParams) (*trace.Table, error) {
 			perMin = float64(time.Minute) / float64(gap)
 		}
 		stream := root.SplitN(fmt.Sprintf("inflight-g%d", j.gIdx), j.trial)
-		w, err := BuildWorld(p.N, 3, stream.Split("world"))
+		w, err := BuildWorldIn(mem, p.N, 3, stream.Split("world"))
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 
 	"tap/internal/core"
 	"tap/internal/id"
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/simnet"
 	"tap/internal/trace"
@@ -96,7 +97,7 @@ func ExtReliability(p ExtReliabilityParams) (*trace.Table, error) {
 		}
 	}
 	root := rng.New(p.Seed)
-	err := Parallel(len(jobs), func(i int) error {
+	err := ParallelScratch(len(jobs), func(i int, mem *pastry.Scratch) error {
 		j := jobs[i]
 		loss := p.LossRates[j.li]
 		x := loss * 100
@@ -105,7 +106,7 @@ func ExtReliability(p ExtReliabilityParams) (*trace.Table, error) {
 			// both modes derive identical substreams and replay the same
 			// scenario.
 			stream := root.SplitN(fmt.Sprintf("rel-l%d", j.li), j.trial)
-			delivered, lat, att, err := runReliabilityTrial(p, loss, retx, stream)
+			delivered, lat, att, err := runReliabilityTrial(p, loss, retx, stream, mem)
 			if err != nil {
 				return err
 			}
@@ -135,9 +136,9 @@ func ExtReliability(p ExtReliabilityParams) (*trace.Table, error) {
 // runReliabilityTrial runs one world through the faulty network in one
 // mode and returns the delivery fraction plus latency/attempt accumulators
 // over delivered flows.
-func runReliabilityTrial(p ExtReliabilityParams, loss float64, retx bool, stream *rng.Stream) (float64, trace.Accum, trace.Accum, error) {
+func runReliabilityTrial(p ExtReliabilityParams, loss float64, retx bool, stream *rng.Stream, mem *pastry.Scratch) (float64, trace.Accum, trace.Accum, error) {
 	var lat, att trace.Accum
-	w, err := BuildWorld(p.N, 3, stream.Split("world"))
+	w, err := BuildWorldIn(mem, p.N, 3, stream.Split("world"))
 	if err != nil {
 		return 0, lat, att, err
 	}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestExtScaleHops pins the scaling experiment's hop counts to the
+// c·log_16 N band the overlay is supposed to deliver: c drifting above 1
+// means routing state has degraded (tables too shallow, repairs failing),
+// c collapsing toward 0 means the measurement itself broke.
+func TestExtScaleHops(t *testing.T) {
+	tbl, err := ExtScale(ExtScaleParams{
+		Sizes:  []int{1_000, 4_000},
+		Routes: 2_000,
+		Seed:   99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1_000, 4_000} {
+		hops := tbl.Mean(float64(n), SeriesMeanHops)
+		c := hops / (math.Log(float64(n)) / math.Log(16))
+		if c < 0.5 || c > 1.3 {
+			t.Errorf("N=%d: mean hops %.3f gives c=%.3f, want 0.5..1.3", n, hops, c)
+		}
+	}
+}
+
+// TestExtScaleBudget verifies the wall-clock budget aborts the sweep with
+// an error (the property the nightly smoke job relies on to fail CI).
+func TestExtScaleBudget(t *testing.T) {
+	_, err := ExtScale(ExtScaleParams{
+		Sizes:  []int{1_000, 2_000},
+		Routes: 500,
+		Seed:   99,
+		Budget: time.Nanosecond,
+	})
+	if err == nil {
+		t.Fatal("expected budget-exceeded error, got nil")
+	}
+}

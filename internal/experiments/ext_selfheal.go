@@ -6,6 +6,7 @@ import (
 
 	"tap/internal/core"
 	"tap/internal/id"
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/simnet"
 	"tap/internal/trace"
@@ -116,11 +117,11 @@ func ExtSelfHeal(p ExtSelfHealParams) (*trace.Table, error) {
 		}
 	}
 	root := rng.New(p.Seed)
-	err := Parallel(len(jobs), func(i int) error {
+	err := ParallelScratch(len(jobs), func(i int, mem *pastry.Scratch) error {
 		j := jobs[i]
 		frac := p.ChurnRates[j.ci]
 		stream := root.SplitN(fmt.Sprintf("selfheal-c%d", j.ci), j.trial)
-		res, err := runSelfHealTrial(p, frac, stream)
+		res, err := runSelfHealTrial(p, frac, stream, mem)
 		if err != nil {
 			return err
 		}
@@ -149,9 +150,9 @@ type selfHealResult struct {
 
 // runSelfHealTrial runs one world with a pooled client and Singles
 // baseline clients through Horizon of batch churn.
-func runSelfHealTrial(p ExtSelfHealParams, frac float64, stream *rng.Stream) (selfHealResult, error) {
+func runSelfHealTrial(p ExtSelfHealParams, frac float64, stream *rng.Stream, mem *pastry.Scratch) (selfHealResult, error) {
 	var res selfHealResult
-	w, err := BuildWorld(p.N, p.K, stream.Split("world"))
+	w, err := BuildWorldIn(mem, p.N, p.K, stream.Split("world"))
 	if err != nil {
 		return res, err
 	}

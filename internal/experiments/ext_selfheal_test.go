@@ -63,7 +63,7 @@ func TestExtSelfHealDeterministic(t *testing.T) {
 // never consulted — the probe machinery at rest is free of false alarms.
 func TestExtSelfHealQuietBaseline(t *testing.T) {
 	p := ExtSelfHealParams{N: 150, Singles: 2, Trials: 1, Seed: 9}.withDefaults()
-	res, err := runSelfHealTrial(p, 0, rng.New(p.Seed).Split("quiet"))
+	res, err := runSelfHealTrial(p, 0, rng.New(p.Seed).Split("quiet"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"tap/internal/churn"
 	"tap/internal/core"
 	"tap/internal/id"
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/simnet"
 	"tap/internal/trace"
@@ -79,11 +80,11 @@ func ExtSession(p ExtSessionParams) (*trace.Table, error) {
 	}
 	root := rng.New(p.Seed)
 	echo := func(req []byte) []byte { return req }
-	err := Parallel(len(jobs), func(i int) error {
+	err := ParallelScratch(len(jobs), func(i int, mem *pastry.Scratch) error {
 		j := jobs[i]
 		rate := p.ChurnRates[j.rIdx]
 		stream := root.SplitN(fmt.Sprintf("extsess-r%d", j.rIdx), j.trial)
-		w, err := BuildWorld(p.N, 3, stream.Split("world"))
+		w, err := BuildWorldIn(mem, p.N, 3, stream.Split("world"))
 		if err != nil {
 			return err
 		}

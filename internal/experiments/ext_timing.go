@@ -6,6 +6,7 @@ import (
 
 	"tap/internal/core"
 	"tap/internal/id"
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/simnet"
 	"tap/internal/timing"
@@ -96,13 +97,13 @@ func ExtTiming(p ExtTimingParams) (*trace.Table, error) {
 		}
 	}
 	root := rng.New(p.Seed)
-	err := Parallel(len(jobs), func(i int) error {
+	err := ParallelScratch(len(jobs), func(i int, mem *pastry.Scratch) error {
 		j := jobs[i]
 		gap := p.FlowGaps[j.gIdx]
 		frac := p.Fracs[j.fIdx]
 		perMin := float64(time.Minute) / float64(gap)
 		stream := root.SplitN(fmt.Sprintf("exttiming-g%d-f%d-%v", j.gIdx, j.fIdx, j.opt), j.trial)
-		w, err := BuildWorld(p.N, 3, stream.Split("world"))
+		w, err := BuildWorldIn(mem, p.N, 3, stream.Split("world"))
 		if err != nil {
 			return err
 		}

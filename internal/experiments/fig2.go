@@ -5,6 +5,7 @@ import (
 
 	"tap/internal/churn"
 	"tap/internal/core"
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/trace"
 )
@@ -87,12 +88,12 @@ func Fig2(p Fig2Params) (*trace.Table, error) {
 		}
 	}
 	root := rng.New(p.Seed)
-	err := Parallel(len(jobs), func(i int) error {
+	err := ParallelScratch(len(jobs), func(i int, mem *pastry.Scratch) error {
 		j := jobs[i]
 		k := p.Ks[j.kIdx]
 		frac := p.Fracs[j.fIdx]
 		stream := root.SplitN(fmt.Sprintf("fig2-k%d-f%d", k, j.fIdx), j.trial)
-		w, err := BuildWorld(p.N, k, stream.Split("world"))
+		w, err := BuildWorldIn(mem, p.N, k, stream.Split("world"))
 		if err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/trace"
 )
@@ -66,9 +67,9 @@ func Fig3(p Fig3Params) (*trace.Table, error) {
 			p.N, p.Tunnels, p.Length, p.K, p.Trials),
 		"p", SeriesCorrupted, SeriesFirstTail)
 	root := rng.New(p.Seed)
-	err := Parallel(p.Trials, func(trial int) error {
+	err := ParallelScratch(p.Trials, func(trial int, mem *pastry.Scratch) error {
 		stream := root.SplitN("fig3", trial)
-		w, err := BuildWorld(p.N, p.K, stream.Split("world"))
+		w, err := BuildWorldIn(mem, p.N, p.K, stream.Split("world"))
 		if err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/trace"
 )
@@ -62,11 +63,11 @@ func Fig4a(p Fig4aParams) (*trace.Table, error) {
 		}
 	}
 	root := rng.New(p.Seed)
-	err := Parallel(len(jobs), func(i int) error {
+	err := ParallelScratch(len(jobs), func(i int, mem *pastry.Scratch) error {
 		j := jobs[i]
 		k := p.Ks[j.kIdx]
 		stream := root.SplitN(fmt.Sprintf("fig4a-k%d", k), j.trial)
-		w, err := BuildWorld(p.N, k, stream.Split("world"))
+		w, err := BuildWorldIn(mem, p.N, k, stream.Split("world"))
 		if err != nil {
 			return err
 		}
@@ -132,9 +133,9 @@ func Fig4b(p Fig4bParams) (*trace.Table, error) {
 			p.N, p.Tunnels, p.K, p.Malicious, p.Trials),
 		"l", SeriesCorrupted)
 	root := rng.New(p.Seed)
-	err := Parallel(p.Trials, func(trial int) error {
+	err := ParallelScratch(p.Trials, func(trial int, mem *pastry.Scratch) error {
 		stream := root.SplitN("fig4b", trial)
-		w, err := BuildWorld(p.N, p.K, stream.Split("world"))
+		w, err := BuildWorldIn(mem, p.N, p.K, stream.Split("world"))
 		if err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tap/internal/churn"
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/simnet"
 	"tap/internal/trace"
@@ -77,9 +78,9 @@ func Fig5(p Fig5Params) (*trace.Table, error) {
 			p.N, p.Tunnels, p.Length, p.K, p.Malicious, p.LeavePerUnit, p.JoinPerUnit, p.Trials),
 		"time", SeriesUnrefreshed, SeriesRefreshed)
 	root := rng.New(p.Seed)
-	err := Parallel(p.Trials, func(trial int) error {
+	err := ParallelScratch(p.Trials, func(trial int, mem *pastry.Scratch) error {
 		stream := root.SplitN("fig5", trial)
-		w, err := BuildWorld(p.N, p.K, stream.Split("world"))
+		w, err := BuildWorldIn(mem, p.N, p.K, stream.Split("world"))
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@ import (
 
 	"tap/internal/core"
 	"tap/internal/id"
+	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/simnet"
 	"tap/internal/trace"
@@ -116,11 +117,11 @@ func Fig6(p Fig6Params) (*trace.Table, error) {
 		}
 	}
 	root := rng.New(p.Seed)
-	err := Parallel(len(jobs), func(i int) error {
+	err := ParallelScratch(len(jobs), func(i int, mem *pastry.Scratch) error {
 		j := jobs[i]
 		size := p.Sizes[j.sizeIdx]
 		stream := root.SplitN(fmt.Sprintf("fig6-n%d", size), j.sim)
-		w, err := BuildWorld(size, p.K, stream.Split("world"))
+		w, err := BuildWorldIn(mem, size, p.K, stream.Split("world"))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tap/internal/trace"
+)
+
+// The figure goldens pin the rendered CSV of every paper figure at a small
+// fixed-seed scale. Together with the pastry route-trace goldens they prove
+// substrate refactors (arena overlay, calendar-queue kernel) are
+// behaviour-preserving end to end: same seeds, same tables, byte for byte.
+//
+// Regenerate (only when results are *supposed* to change, with review):
+//
+//	go test ./internal/experiments -run TestGoldenFigures -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden figure CSVs from the current implementation")
+
+func TestGoldenFigures(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() (*trace.Table, error)
+	}{
+		{"fig2", func() (*trace.Table, error) {
+			return Fig2(Fig2Params{N: 300, Tunnels: 60, Length: 5, Ks: []int{3},
+				Fracs: []float64{0.1, 0.3}, Trials: 2, Seed: 41, FullWalk: true})
+		}},
+		{"fig3", func() (*trace.Table, error) {
+			return Fig3(Fig3Params{N: 300, Tunnels: 80, Length: 5, K: 3,
+				Fracs: []float64{0.1, 0.2}, Trials: 2, Seed: 42})
+		}},
+		{"fig4a", func() (*trace.Table, error) {
+			return Fig4a(Fig4aParams{N: 300, Tunnels: 80, Length: 5,
+				Ks: []int{1, 3}, Malicious: 0.1, Trials: 2, Seed: 43})
+		}},
+		{"fig4b", func() (*trace.Table, error) {
+			return Fig4b(Fig4bParams{N: 300, Tunnels: 80,
+				Lengths: []int{2, 5}, K: 3, Malicious: 0.1, Trials: 2, Seed: 44})
+		}},
+		{"fig5", func() (*trace.Table, error) {
+			return Fig5(Fig5Params{N: 300, Tunnels: 60, Length: 5, K: 3, Malicious: 0.1,
+				Units: 4, LeavePerUnit: 15, JoinPerUnit: 15, Trials: 2, Seed: 45})
+		}},
+		{"fig6", func() (*trace.Table, error) {
+			return Fig6(Fig6Params{Sizes: []int{100, 200}, Lengths: []int{3}, K: 3,
+				FileBytes: 50_000, Transfers: 3, Sims: 2, Seed: 46})
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tbl, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			tbl.RenderCSV(&buf)
+			path := filepath.Join("testdata", "golden", c.name+".csv")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden on a known-good tree): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				got := path + ".got"
+				os.WriteFile(got, buf.Bytes(), 0o644)
+				t.Fatalf("figure CSV diverges from %s (wrote %s):\nwant:\n%s\ngot:\n%s",
+					path, got, want, buf.Bytes())
+			}
+		})
+	}
+}

@@ -38,7 +38,16 @@ type World struct {
 // BuildWorld constructs a world of n nodes with replication factor k,
 // rooted at stream.
 func BuildWorld(n, k int, stream *rng.Stream) (*World, error) {
-	ov, err := pastry.Build(pastry.DefaultConfig(), n, stream.Split("overlay"))
+	return BuildWorldIn(nil, n, k, stream)
+}
+
+// BuildWorldIn is BuildWorld with the overlay built inside mem's arenas
+// (nil mem allocates fresh ones). Passing a worker's scratch to every
+// trial makes overlay construction — the allocation bulk of a trial —
+// reuse one trial's memory for the next. The previous world built in mem
+// dies; a world must therefore never outlive its trial function.
+func BuildWorldIn(mem *pastry.Scratch, n, k int, stream *rng.Stream) (*World, error) {
+	ov, err := pastry.BuildInto(mem, pastry.DefaultConfig(), n, stream.Split("overlay"))
 	if err != nil {
 		return nil, err
 	}
@@ -133,6 +142,49 @@ func Parallel(n int, fn func(i int) error) error {
 			defer wg.Done()
 			for i := range idx {
 				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return firstErr
+}
+
+// ParallelScratch is Parallel for trial functions that build worlds: each
+// worker goroutine owns one pastry.Scratch, handed to every trial it runs,
+// so successive trials on a worker rebuild their overlay in the same
+// memory (BuildWorldIn). The scratch argument is only valid for the
+// duration of fn — a trial must not retain its world past its return.
+func ParallelScratch(n int, fn func(i int, mem *pastry.Scratch) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mem := pastry.NewScratch()
+			for i := range idx {
+				if err := fn(i, mem); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err

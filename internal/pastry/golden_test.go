@@ -1,0 +1,193 @@
+package pastry
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tap/internal/id"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+)
+
+// The golden traces pin the overlay's observable behaviour — every route
+// path, leaf set, routing decision, and churn outcome on fixed seeds — to
+// byte-identical files captured from the pre-arena implementation. The
+// arena refactor is a memory-layout change only; if any of these traces
+// moves, routing behaviour changed and the refactor is wrong.
+//
+// Regenerate (only when behaviour is *supposed* to change, with review):
+//
+//	go test ./internal/pastry -run TestGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden trace files from the current implementation")
+
+// goldenCase is one deterministic overlay workout.
+type goldenCase struct {
+	name   string
+	cfg    Config
+	n      int
+	seed   uint64
+	routes int // routes per phase
+	fails  int
+	joins  int // oracle joins
+	proto  int // protocol-faithful joins
+}
+
+var goldenCases = []goldenCase{
+	// Tiny ring: leaf sets cover the whole overlay, wrap-around paths.
+	{name: "tiny_b4", cfg: Config{B: 4, LeafSize: 16, MaxRouteHops: 64}, n: 24, seed: 3, routes: 60, fails: 6, joins: 6, proto: 4},
+	// Mid-size at the paper's parameters, heavy churn.
+	{name: "mid_b4", cfg: Config{B: 4, LeafSize: 16, MaxRouteHops: 64}, n: 400, seed: 7, routes: 150, fails: 40, joins: 25, proto: 15},
+	// Narrow digits exercise deep routing tables.
+	{name: "mid_b2", cfg: Config{B: 2, LeafSize: 8, MaxRouteHops: 128}, n: 200, seed: 11, routes: 100, fails: 20, joins: 12, proto: 8},
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for _, c := range goldenCases {
+		t.Run(c.name, func(t *testing.T) {
+			trace := runGoldenCase(t, c)
+			path := filepath.Join("testdata", "golden", c.name+".trace")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, trace, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(trace))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden on a known-good tree): %v", err)
+			}
+			if !bytes.Equal(trace, want) {
+				got := path + ".got"
+				os.WriteFile(got, trace, 0o644)
+				t.Fatalf("trace diverges from %s (wrote %s); the overlay's routing behaviour changed", path, got)
+			}
+		})
+	}
+}
+
+// runGoldenCase drives one overlay through build, routing, and churn,
+// appending every observable decision to the trace.
+func runGoldenCase(t *testing.T, c goldenCase) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := func(format string, args ...any) { fmt.Fprintf(&buf, format, args...) }
+
+	root := rng.New(c.seed)
+	ov, err := Build(c.cfg, c.n, root.Split("overlay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w("build n=%d b=%d L=%d\n", c.n, c.cfg.B, c.cfg.LeafSize)
+	dumpOverlay(&buf, ov)
+
+	keys := root.Split("keys")
+	routePhase := func(phase string) {
+		for i := 0; i < c.routes; i++ {
+			var key id.ID
+			keys.Bytes(key[:])
+			src := ov.RandomLive(keys)
+			path, err := ov.RoutePath(src.Ref().Addr, key)
+			if err != nil {
+				t.Fatalf("%s route %d: %v", phase, i, err)
+			}
+			w("route %s %d key=%s path=", phase, i, key.Short())
+			for j, r := range path {
+				if j > 0 {
+					buf.WriteByte(',')
+				}
+				w("%s", r)
+			}
+			w(" hops=%d\n", len(path)-1)
+		}
+	}
+	oracle := func(phase string) {
+		for i := 0; i < 12; i++ {
+			var key id.ID
+			keys.Bytes(key[:])
+			w("owner %s %d key=%s -> %s\n", phase, i, key.Short(), ov.OwnerOf(key).Ref())
+			w("replicas %s %d:", phase, i)
+			for _, nd := range ov.ReplicaSet(key, 4) {
+				w(" %s", nd.Ref())
+			}
+			w("\n")
+			nd := ov.RandomLive(keys)
+			w("ringneighbors %s %d around=%s:", phase, i, nd.Ref())
+			for _, nb := range ov.RingNeighbors(nd.ID(), 5) {
+				w(" %s", nb.Ref())
+			}
+			w("\n")
+		}
+	}
+
+	routePhase("fresh")
+	oracle("fresh")
+
+	churn := root.Split("churn")
+	for i := 0; i < c.fails; i++ {
+		nd := ov.RandomLive(churn)
+		if err := ov.Fail(nd.Ref().Addr); err != nil {
+			t.Fatalf("fail %d: %v", i, err)
+		}
+		w("fail %d %s\n", i, nd.Ref())
+	}
+	for i := 0; i < c.joins; i++ {
+		nd := ov.Join()
+		w("join %d %s\n", i, nd.Ref())
+	}
+	for i := 0; i < c.proto; i++ {
+		boot := ov.RandomLive(churn)
+		nd, err := ov.JoinViaRouting(boot.Ref().Addr)
+		if err != nil {
+			t.Fatalf("protocol join %d: %v", i, err)
+		}
+		w("protojoin %d boot=%s -> %s\n", i, boot.Ref(), nd.Ref())
+	}
+
+	routePhase("churned")
+	oracle("churned")
+	dumpOverlay(&buf, ov)
+
+	if err := ov.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// dumpOverlay appends the full observable node state: live index order,
+// per-node leaf sets and routing-table entries.
+func dumpOverlay(buf *bytes.Buffer, ov *Overlay) {
+	w := func(format string, args ...any) { fmt.Fprintf(buf, format, args...) }
+	w("state size=%d addrs=%d\n", ov.Size(), ov.NumAddrs())
+	for i, r := range ov.LiveRefs() {
+		w("index %d %s\n", i, r)
+	}
+	for addr := 0; addr < ov.NumAddrs(); addr++ {
+		nd := ov.Node(simnet.Addr(addr))
+		if nd == nil || !nd.Alive() {
+			continue
+		}
+		w("node %s leaf=", nd.Ref())
+		for j, m := range nd.Leaf.Members() {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			w("%s", m)
+		}
+		w(" rt=")
+		for j, e := range nd.RT.Entries() {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			w("%s", e)
+		}
+		w("\n")
+	}
+}

@@ -3,7 +3,6 @@ package pastry
 import (
 	"fmt"
 
-	"tap/internal/id"
 	"tap/internal/simnet"
 )
 
@@ -38,14 +37,7 @@ func (o *Overlay) JoinViaRouting(bootstrap simnet.Addr) (*Node, error) {
 		return nil, fmt.Errorf("pastry: join route: %w", err)
 	}
 
-	node := &Node{
-		ref:   NodeRef{ID: nid, Addr: simnet.Addr(len(o.nodes))},
-		cfg:   o.cfg,
-		ov:    o,
-		Leaf:  NewLeafSet(nid, o.cfg.LeafSize),
-		RT:    NewRoutingTable(nid, o.cfg.B),
-		alive: true,
-	}
+	node := o.newNode(nid)
 
 	// Row i of the routing table comes from the i-th node on the path:
 	// copy the entries of that node's row i that are valid for the
@@ -54,10 +46,10 @@ func (o *Overlay) JoinViaRouting(bootstrap simnet.Addr) (*Node, error) {
 	// construction of prefix routing — but verify per entry, since early
 	// hops may share fewer digits than their position suggests).
 	for i, ref := range path {
-		donor := o.byID[ref.ID]
-		if donor == nil {
+		if !o.aliveRef(ref) {
 			continue
 		}
+		donor := o.nodeAt(ref.Addr)
 		copyRow := func(row int) {
 			for d := 0; d < 1<<o.cfg.B; d++ {
 				e, ok := donor.RT.Get(row, d)
@@ -86,12 +78,10 @@ func (o *Overlay) JoinViaRouting(bootstrap simnet.Addr) (*Node, error) {
 	// the overlay keeps leaf sets exact, recomputeLeaf from the live
 	// index after insertion is identical to "obtain leaf set from Z and
 	// adjust", without modeling the adjustment messages.
-	o.nodes = append(o.nodes, node)
-	o.byID[nid] = node
 	p := o.pos(nid)
-	o.index = append(o.index, id.ID{})
+	o.index = append(o.index, NodeRef{})
 	copy(o.index[p+1:], o.index[p:])
-	o.index[p] = nid
+	o.index[p] = node.ref
 	o.recomputeLeaf(node)
 	// Leaf members enter the routing table as well (Pastry's final
 	// state transfer includes Z's leaf set).
@@ -107,8 +97,8 @@ func (o *Overlay) JoinViaRouting(bootstrap simnet.Addr) (*Node, error) {
 	// nodes found in its neighborhood set, leaf set, and routing table":
 	// those nodes learn about X.
 	for _, e := range node.RT.Entries() {
-		if donor := o.byID[e.ID]; donor != nil {
-			donor.RT.Consider(node.ref)
+		if o.aliveRef(e) {
+			o.nodeAt(e.Addr).RT.Consider(node.ref)
 		}
 	}
 	if o.OnJoin != nil {

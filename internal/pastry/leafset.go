@@ -11,6 +11,11 @@ import (
 // The leaf set is the component that makes greedy routing terminate
 // correctly, so the overlay maintains it eagerly and exactly; see the
 // package comment.
+//
+// Storage is array-backed: both sides are fixed-capacity slices, carved
+// out of the overlay's ref slab for arena nodes (so a whole overlay's leaf
+// sets amount to a handful of allocations) or heap-allocated for
+// standalone use.
 type LeafSet struct {
 	owner   id.ID
 	half    int
@@ -20,11 +25,21 @@ type LeafSet struct {
 
 // NewLeafSet returns an empty leaf set with capacity L/2 per side.
 func NewLeafSet(owner id.ID, leafSize int) *LeafSet {
-	return &LeafSet{
-		owner:   owner,
-		half:    leafSize / 2,
-		smaller: make([]NodeRef, 0, leafSize/2),
-		larger:  make([]NodeRef, 0, leafSize/2),
+	l := &LeafSet{}
+	l.init(owner, leafSize, nil)
+	return l
+}
+
+// init prepares l in place, drawing side storage from slab when non-nil.
+func (l *LeafSet) init(owner id.ID, leafSize int, slab *refSlab) {
+	l.owner = owner
+	l.half = leafSize / 2
+	if slab != nil {
+		l.smaller = slab.grabEmpty(l.half)
+		l.larger = slab.grabEmpty(l.half)
+	} else {
+		l.smaller = make([]NodeRef, 0, l.half)
+		l.larger = make([]NodeRef, 0, l.half)
 	}
 }
 

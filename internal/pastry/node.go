@@ -8,13 +8,18 @@ import (
 // overlay pointer is used only for liveness checks (standing in for
 // failure detection by send timeout) and lazy routing-table repair
 // (standing in for Pastry's repair queries to peers).
+//
+// Nodes are values inside the overlay's chunked arena — LeafSet and
+// RoutingTable are embedded, their entry storage carved from the arena's
+// ref slab — so building an N-node overlay costs O(N/chunk) allocations
+// rather than several per node. Liveness lives in the overlay's alive
+// bitmap, keyed by the node's dense address.
 type Node struct {
-	ref   NodeRef
-	cfg   Config
-	ov    *Overlay
-	Leaf  *LeafSet
-	RT    *RoutingTable
-	alive bool
+	ref  NodeRef
+	cfg  Config
+	ov   *Overlay
+	Leaf LeafSet
+	RT   RoutingTable
 }
 
 // Ref returns the node's identity.
@@ -27,7 +32,7 @@ func (n *Node) ID() id.ID { return n.ref.ID }
 func (n *Node) Addr() int { return int(n.ref.Addr) }
 
 // Alive reports whether the node is currently a live overlay member.
-func (n *Node) Alive() bool { return n.alive }
+func (n *Node) Alive() bool { return n.ov.aliveAddr(n.ref.Addr) }
 
 // NextHop runs Pastry's routing decision for key at this node.
 //
@@ -72,10 +77,12 @@ func (n *Node) NextHop(key id.ID) (NodeRef, bool) {
 	}
 
 	// Rare case: forward to any known live node that shares at least as
-	// long a prefix with the key and is strictly closer to it.
+	// long a prefix with the key and is strictly closer to it. Leaf and
+	// table entries are scanned in place — this path must not allocate,
+	// it is inside every route.
 	best := n.ref
 	consider := func(r NodeRef) {
-		if !n.ov.aliveRef(r) {
+		if r.ID.IsZero() || !n.ov.aliveRef(r) {
 			return
 		}
 		if r.ID.CommonPrefixDigits(key, n.cfg.B) < row {
@@ -85,10 +92,13 @@ func (n *Node) NextHop(key id.ID) (NodeRef, bool) {
 			best = r
 		}
 	}
-	for _, r := range n.Leaf.Members() {
+	for _, r := range n.Leaf.smaller {
 		consider(r)
 	}
-	for _, r := range n.RT.Entries() {
+	for _, r := range n.Leaf.larger {
+		consider(r)
+	}
+	for _, r := range n.RT.refs {
 		consider(r)
 	}
 	if best.ID == n.ref.ID {

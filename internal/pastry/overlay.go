@@ -2,7 +2,7 @@ package pastry
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"tap/internal/id"
 	"tap/internal/rng"
@@ -12,13 +12,25 @@ import (
 // Overlay owns every node in the simulated network: construction, joins,
 // departures, and the sorted live-node index that serves as both the
 // correctness oracle and the information source for state repair.
+//
+// State is arena-backed for scale (the ROADMAP's 10^5–10^6-node target):
+// nodes are values in chunked storage indexed by dense Addr, the live-node
+// index is a sorted []NodeRef resolved by binary search (no map), and
+// liveness is a bitmap over addresses. Identifier-keyed lookups that the
+// map used to serve go through the index; address-keyed lookups — the
+// common case, since every NodeRef carries its Addr — are O(1) arena
+// loads.
 type Overlay struct {
 	cfg    Config
 	stream *rng.Stream
 
-	nodes []*Node         // indexed by Addr; entries persist after death
-	index []id.ID         // sorted ids of live nodes
-	byID  map[id.ID]*Node // live nodes only
+	mem   *Scratch  // node arena, ref slab, alive bitmap
+	index []NodeRef // live nodes, sorted by ID
+
+	// buildDup detects duplicate id draws during Build, while the index
+	// is still unsorted; it is discarded once the overlay is up and
+	// lookups can use the index.
+	buildDup map[id.ID]struct{}
 
 	// Proximity, when set, lets routing-table construction prefer nearby
 	// nodes as real Pastry does (it fills slots with the topologically
@@ -41,6 +53,13 @@ type Overlay struct {
 // Node ids are drawn from stream, so the same (seed, n) yields the same
 // network.
 func Build(cfg Config, n int, stream *rng.Stream) (*Overlay, error) {
+	return BuildInto(nil, cfg, n, stream)
+}
+
+// BuildInto is Build reusing mem's arenas. The previous overlay built in
+// mem (and every node pointer into it) is destroyed. A nil mem allocates
+// fresh arenas, which is exactly Build.
+func BuildInto(mem *Scratch, cfg Config, n int, stream *rng.Stream) (*Overlay, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -50,33 +69,46 @@ func Build(cfg Config, n int, stream *rng.Stream) (*Overlay, error) {
 	if cfg.MaxRouteHops == 0 {
 		cfg.MaxRouteHops = 64
 	}
-	o := &Overlay{
-		cfg:    cfg,
-		stream: stream.Split("pastry"),
-		byID:   make(map[id.ID]*Node, n),
+	if mem == nil {
+		mem = NewScratch()
+	} else {
+		mem.reset()
 	}
-	o.nodes = make([]*Node, 0, n)
-	o.index = make([]id.ID, 0, n)
+	o := &Overlay{
+		cfg:      cfg,
+		stream:   stream.Split("pastry"),
+		mem:      mem,
+		index:    mem.index[:0],
+		buildDup: make(map[id.ID]struct{}, n),
+	}
 	for i := 0; i < n; i++ {
 		nid := o.freshID()
-		node := &Node{
-			ref:   NodeRef{ID: nid, Addr: simnet.Addr(i)},
-			cfg:   cfg,
-			ov:    o,
-			Leaf:  NewLeafSet(nid, cfg.LeafSize),
-			RT:    NewRoutingTable(nid, cfg.B),
-			alive: true,
-		}
-		o.nodes = append(o.nodes, node)
-		o.byID[nid] = node
-		o.index = append(o.index, nid)
+		o.buildDup[nid] = struct{}{}
+		node := o.newNode(nid)
+		o.index = append(o.index, node.ref)
 	}
-	sort.Slice(o.index, func(i, j int) bool { return o.index[i].Less(o.index[j]) })
-	for _, node := range o.nodes {
-		o.recomputeLeaf(node)
-		o.fillRoutingTable(node)
+	o.buildDup = nil
+	slices.SortFunc(o.index, func(a, b NodeRef) int { return a.ID.Cmp(b.ID) })
+	for p, r := range o.index {
+		o.recomputeLeafAt(o.nodeAt(r.Addr), p)
 	}
+	o.fillAllTables()
+	mem.index = o.index
 	return o, nil
+}
+
+// newNode appends a node to the arena with the next unused address and
+// marks it live. Leaf and routing-table storage come from the slab.
+func (o *Overlay) newNode(nid id.ID) *Node {
+	nd := o.mem.arena.next()
+	addr := simnet.Addr(o.mem.arena.n - 1)
+	nd.ref = NodeRef{ID: nid, Addr: addr}
+	nd.cfg = o.cfg
+	nd.ov = o
+	nd.Leaf.init(nid, o.cfg.LeafSize, &o.mem.slab)
+	nd.RT.init(nid, o.cfg.B, &o.mem.slab)
+	o.setAlive(addr)
+	return nd
 }
 
 // freshID draws a random identifier not already in use.
@@ -84,9 +116,17 @@ func (o *Overlay) freshID() id.ID {
 	for {
 		var nid id.ID
 		o.stream.Bytes(nid[:])
-		if _, dup := o.byID[nid]; !dup && !nid.IsZero() {
-			return nid
+		if nid.IsZero() {
+			continue
 		}
+		if o.buildDup != nil {
+			if _, dup := o.buildDup[nid]; dup {
+				continue
+			}
+		} else if o.ByID(nid) != nil {
+			continue
+		}
+		return nid
 	}
 }
 
@@ -97,38 +137,44 @@ func (o *Overlay) Config() Config { return o.cfg }
 func (o *Overlay) Size() int { return len(o.index) }
 
 // NumAddrs returns the total address space ever allocated (live + dead).
-func (o *Overlay) NumAddrs() int { return len(o.nodes) }
+func (o *Overlay) NumAddrs() int { return o.mem.arena.n }
 
 // Node returns the node at addr, live or dead. Nil for unallocated
 // addresses.
 func (o *Overlay) Node(addr simnet.Addr) *Node {
-	if int(addr) < 0 || int(addr) >= len(o.nodes) {
+	if int(addr) < 0 || int(addr) >= o.mem.arena.n {
 		return nil
 	}
-	return o.nodes[addr]
+	return o.nodeAt(addr)
 }
 
 // ByID returns the live node with the given id, or nil.
-func (o *Overlay) ByID(nid id.ID) *Node { return o.byID[nid] }
+func (o *Overlay) ByID(nid id.ID) *Node {
+	p := o.pos(nid)
+	if p < len(o.index) && o.index[p].ID == nid {
+		return o.nodeAt(o.index[p].Addr)
+	}
+	return nil
+}
 
 // aliveRef reports whether the referenced node is currently live.
 func (o *Overlay) aliveRef(r NodeRef) bool {
-	n, ok := o.byID[r.ID]
-	return ok && n.ref.Addr == r.Addr
+	if int(r.Addr) >= o.mem.arena.n {
+		return false
+	}
+	return o.aliveAddr(r.Addr) && o.nodeAt(r.Addr).ref.ID == r.ID
 }
 
 // LiveRefs returns references to all live nodes in ring order.
 func (o *Overlay) LiveRefs() []NodeRef {
 	out := make([]NodeRef, len(o.index))
-	for i, nid := range o.index {
-		out[i] = o.byID[nid].ref
-	}
+	copy(out, o.index)
 	return out
 }
 
 // RandomLive returns a uniformly random live node drawn from stream.
 func (o *Overlay) RandomLive(stream *rng.Stream) *Node {
-	return o.byID[o.index[stream.Intn(len(o.index))]]
+	return o.nodeAt(o.index[stream.Intn(len(o.index))].Addr)
 }
 
 // --- oracle ---------------------------------------------------------------
@@ -141,7 +187,7 @@ func (o *Overlay) pos(nid id.ID) int {
 	lo, hi := 0, len(o.index)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if o.index[mid].Less(nid) {
+		if o.index[mid].ID.Less(nid) {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -150,13 +196,27 @@ func (o *Overlay) pos(nid id.ID) int {
 	return lo
 }
 
+// lowerBound returns the first position in o.index[from:to] whose id is
+// >= lo, in absolute index coordinates.
+func (o *Overlay) lowerBound(lo id.ID, from, to int) int {
+	for from < to {
+		mid := int(uint(from+to) >> 1)
+		if o.index[mid].ID.Less(lo) {
+			from = mid + 1
+		} else {
+			to = mid
+		}
+	}
+	return from
+}
+
 // upperBound returns the first position in o.index[from:to] whose id
 // exceeds hi, in absolute index coordinates.
 func (o *Overlay) upperBound(hi id.ID, from, to int) int {
 	lo := from
 	for lo < to {
 		mid := int(uint(lo+to) >> 1)
-		if hi.Less(o.index[mid]) {
+		if hi.Less(o.index[mid].ID) {
 			to = mid
 		} else {
 			lo = mid + 1
@@ -176,10 +236,10 @@ func (o *Overlay) OwnerOf(key id.ID) *Node {
 	p := o.pos(key) % n
 	best := o.index[p]
 	prev := o.index[(p-1+n)%n]
-	if id.Closer(key, prev, best) {
+	if id.Closer(key, prev.ID, best.ID) {
 		best = prev
 	}
-	return o.byID[best]
+	return o.nodeAt(best.Addr)
 }
 
 // ReplicaSet returns the k live nodes numerically closest to key, ordered
@@ -200,11 +260,11 @@ func (o *Overlay) ReplicaSet(key id.ID, k int) []*Node {
 	out := make([]*Node, 0, k)
 	for len(out) < k {
 		a, b := o.index[lo], o.index[hi]
-		if lo == hi || !id.Closer(key, a, b) {
-			out = append(out, o.byID[b])
+		if lo == hi || !id.Closer(key, a.ID, b.ID) {
+			out = append(out, o.nodeAt(b.Addr))
 			hi = (hi + 1) % n
 		} else {
-			out = append(out, o.byID[a])
+			out = append(out, o.nodeAt(a.Addr))
 			lo = (lo - 1 + n) % n
 		}
 	}
@@ -216,34 +276,41 @@ func (o *Overlay) ReplicaSet(key id.ID, k int) []*Node {
 // neighborhood. Replica migration uses it — a key's replica holders are
 // within k *positions* of the key, a bound that holds regardless of how
 // unevenly ids clump, unlike distance-based windows.
+//
+// Deduplication is positional arithmetic, not a map: after the center and
+// i-1 full rings, position p+i wraps onto already-visited ground exactly
+// when 2i-1 >= n, and p-i when 2i >= n. This is the hot query of replica
+// migration (every join and failure), so it must not allocate per entry.
 func (o *Overlay) RingNeighbors(nid id.ID, each int) []*Node {
 	n := len(o.index)
 	if n == 0 || each < 0 {
 		return nil
 	}
 	p := o.pos(nid) % n
-	seen := make(map[id.ID]struct{}, 2*each+1)
-	out := make([]*Node, 0, 2*each+1)
+	want := 2*each + 1
+	if want > n {
+		want = n
+	}
+	out := make([]*Node, 0, want)
 	add := func(q int) {
-		qid := o.index[(q%n+n)%n]
-		if _, dup := seen[qid]; dup {
-			return
-		}
-		seen[qid] = struct{}{}
-		out = append(out, o.byID[qid])
+		out = append(out, o.nodeAt(o.index[(q%n+n)%n].Addr))
 	}
 	add(p)
-	for i := 1; i <= each && len(seen) < n; i++ {
-		add(p + i)
-		add(p - i)
+	for i := 1; i <= each && len(out) < n; i++ {
+		if 2*i-1 < n {
+			add(p + i)
+		}
+		if 2*i < n && len(out) < n {
+			add(p - i)
+		}
 	}
 	return out
 }
 
-// rangeMembers returns the live ids within [lo, hi] (an aligned prefix
+// rangeMembers returns the live refs within [lo, hi] (an aligned prefix
 // block, so it never wraps).
-func (o *Overlay) rangeMembers(lo, hi id.ID) []id.ID {
-	i := o.pos(lo)
+func (o *Overlay) rangeMembers(lo, hi id.ID) []NodeRef {
+	i := o.lowerBound(lo, 0, len(o.index))
 	j := o.upperBound(hi, i, len(o.index))
 	if i >= j {
 		return nil
@@ -253,8 +320,17 @@ func (o *Overlay) rangeMembers(lo, hi id.ID) []id.ID {
 
 // --- leaf sets --------------------------------------------------------------
 
-// recomputeLeaf installs node's exact leaf set from the live index.
+// recomputeLeaf installs node's exact leaf set from the live index,
+// writing the sides in place (the index entries carry the refs; no
+// temporaries, no map hops).
 func (o *Overlay) recomputeLeaf(node *Node) {
+	o.recomputeLeafAt(node, o.pos(node.ref.ID))
+}
+
+// recomputeLeafAt is recomputeLeaf for a caller that already knows the
+// node's index position — bulk construction walks the index in order, so
+// re-deriving each position by binary search would be pure waste.
+func (o *Overlay) recomputeLeafAt(node *Node, p int) {
 	n := len(o.index)
 	half := o.cfg.LeafSize / 2
 	others := n - 1
@@ -269,36 +345,31 @@ func (o *Overlay) recomputeLeaf(node *Node) {
 	if bwdN > half {
 		bwdN = half
 	}
-	p := o.pos(node.ref.ID)
-	larger := make([]NodeRef, 0, fwdN)
+	l := &node.Leaf
+	l.larger = l.larger[:0]
 	for i := 1; i <= fwdN; i++ {
-		nid := o.index[(p+i)%n]
-		larger = append(larger, o.byID[nid].ref)
+		l.larger = append(l.larger, o.index[(p+i)%n])
 	}
-	smaller := make([]NodeRef, 0, bwdN)
+	l.smaller = l.smaller[:0]
 	for i := 1; i <= bwdN; i++ {
-		nid := o.index[(p-i+n)%n]
-		smaller = append(smaller, o.byID[nid].ref)
+		l.smaller = append(l.smaller, o.index[(p-i+n)%n])
 	}
-	node.Leaf.ReplaceAll(smaller, larger)
 }
 
-// neighborsOf returns the live nodes within half ring positions on each
-// side of position p — exactly the nodes whose leaf sets can reference the
-// node at p.
+// neighborsAround returns the live nodes within half ring positions on
+// each side of position p — exactly the nodes whose leaf sets can
+// reference the node at p. Dedup is the same positional arithmetic as
+// RingNeighbors (this runs on every membership change).
 func (o *Overlay) neighborsAround(p int) []*Node {
 	n := len(o.index)
 	half := o.cfg.LeafSize / 2
-	seen := map[id.ID]struct{}{}
 	var out []*Node
 	for i := 1; i <= half && i < n; i++ {
-		for _, q := range []int{(p + i) % n, (p - i + n) % n} {
-			nid := o.index[q]
-			if _, dup := seen[nid]; dup {
-				continue
-			}
-			seen[nid] = struct{}{}
-			out = append(out, o.byID[nid])
+		if 2*i-1 < n {
+			out = append(out, o.nodeAt(o.index[(p+i)%n].Addr))
+		}
+		if 2*i < n {
+			out = append(out, o.nodeAt(o.index[(p-i+n)%n].Addr))
 		}
 	}
 	return out
@@ -313,18 +384,40 @@ const rtSampleLimit = 8
 
 // fillRoutingTable populates node's table from the live index. Rows are
 // filled until the block of ids sharing the row prefix with the node
-// contains nobody else (deeper rows have no candidates).
+// contains nobody else (deeper rows have no candidates). A sizing pass
+// finds that depth first so the whole table is carved from the slab in
+// one block; the nested prefix blocks let both passes narrow their search
+// windows row over row.
 func (o *Overlay) fillRoutingTable(node *Node) {
 	digits := id.NumDigits(o.cfg.B)
+
+	// Pass 1: depth. Row r has candidates iff the block sharing r digits
+	// with the node holds someone besides the node itself.
+	rows := 0
+	from, to := 0, len(o.index)
 	for row := 0; row < digits; row++ {
-		// Population of the block sharing `row` digits with the node.
 		blockLo := node.ref.ID.PrefixFloor(row * o.cfg.B)
 		blockHi := node.ref.ID.PrefixCeil(row * o.cfg.B)
-		blockStart := o.pos(blockLo)
-		blockEnd := o.upperBound(blockHi, blockStart, len(o.index))
-		if blockEnd-blockStart <= 1 {
+		from = o.lowerBound(blockLo, from, to)
+		to = o.upperBound(blockHi, from, to)
+		if to-from <= 1 {
 			break
 		}
+		rows = row + 1
+	}
+	if rows == 0 {
+		return
+	}
+	node.RT.Reserve(rows)
+
+	// Pass 2: fill.
+	from, to = 0, len(o.index)
+	for row := 0; row < rows; row++ {
+		blockLo := node.ref.ID.PrefixFloor(row * o.cfg.B)
+		blockHi := node.ref.ID.PrefixCeil(row * o.cfg.B)
+		blockStart := o.lowerBound(blockLo, from, to)
+		blockEnd := o.upperBound(blockHi, blockStart, to)
+		from, to = blockStart, blockEnd
 		// The 2^b digit sub-blocks tile [blockLo, blockHi] in order, so
 		// each block's end boundary is the next one's start: one search
 		// per digit, over an ever-narrowing window, instead of two
@@ -351,29 +444,137 @@ func (o *Overlay) fillRoutingTable(node *Node) {
 // representative for a block, all routes into that block would funnel
 // through one node — a bottleneck real Pastry does not have (each node
 // fills slots with whatever nearby candidate it happened to learn).
-func (o *Overlay) pickBySlot(node *Node, members []id.ID) NodeRef {
+func (o *Overlay) pickBySlot(node *Node, members []NodeRef) NodeRef {
 	if len(members) == 1 {
-		return o.byID[members[0]].ref
+		return members[0]
 	}
 	if o.Proximity == nil {
 		// Mix the owner's id with the block's first member to spread
-		// choices across nodes while staying deterministic.
-		h := node.ref.ID.Xor(members[0]).Low64()
-		return o.byID[members[h%uint64(len(members))]].ref
+		// choices across nodes while staying deterministic. Xor commutes
+		// with taking the low word, so this is Xor(owner, first).Low64()
+		// without materializing the 160-bit intermediate — this runs for
+		// every slot of every table during bulk construction.
+		h := node.ref.ID.Low64() ^ members[0].ID.Low64()
+		return members[h%uint64(len(members))]
 	}
 	step := len(members) / rtSampleLimit
 	if step == 0 {
 		step = 1
 	}
-	best := o.byID[members[0]].ref
+	best := members[0]
 	bestProx := o.Proximity(node.ref.Addr, best.Addr)
 	for i := step; i < len(members); i += step {
-		c := o.byID[members[i]].ref
+		c := members[i]
 		if p := o.Proximity(node.ref.Addr, c.Addr); p < bestProx {
 			best, bestProx = c, p
 		}
 	}
 	return best
+}
+
+// fillAllTables populates every live node's routing table in one
+// recursive sweep over the sorted index. The per-node fill
+// (fillRoutingTable) binary-searches the index for each row's prefix
+// block and each digit's sub-block — dozens of wide searches per node —
+// but those blocks are shared: every node whose id starts with the same
+// digits sees the same sub-block boundaries. Descending the implicit
+// digit trie of the sorted index computes each boundary exactly once,
+// turning bulk construction from O(N · rows · 2^b · log N) id
+// comparisons into O(trie nodes · 2^b) narrow searches. Results are
+// identical: each (node, row, digit) slot gets pickBySlot over the same
+// member window either way.
+func (o *Overlay) fillAllTables() {
+	n := len(o.index)
+	if n < 2 {
+		return
+	}
+	digits := id.NumDigits(o.cfg.B)
+
+	// Sizing: a node's table is as deep as the deepest multi-member
+	// prefix block containing it, and any such block also contains one of
+	// the node's immediate ring neighbors — blocks are contiguous runs of
+	// the sorted index. So depth is 1 + the longer of the two adjacent
+	// common prefixes, and one linear pass reserves every table exactly
+	// (a single slab carve per node, no grow-and-copy).
+	lcpPrev := 0
+	for i := 0; i < n; i++ {
+		lcpNext := 0
+		if i+1 < n {
+			lcpNext = o.index[i].ID.CommonPrefixDigits(o.index[i+1].ID, o.cfg.B)
+		}
+		rows := lcpPrev + 1
+		if lcpNext >= lcpPrev {
+			rows = lcpNext + 1
+		}
+		if rows > digits {
+			rows = digits
+		}
+		o.nodeAt(o.index[i].Addr).RT.Reserve(rows)
+		lcpPrev = lcpNext
+	}
+
+	o.fillBlock(0, 0, n, digits)
+}
+
+// subBounds writes the boundaries of the 2^b digit sub-blocks of the
+// block o.index[from:to], whose members all share the first `row` digits:
+// bounds[d] .. bounds[d+1] is the window with digit d at position row.
+// Within the block ids are sorted, so digits at position row are
+// non-decreasing and one linear digit scan finds every boundary — cheaper
+// than per-digit binary searches, whose prefix-key construction was the
+// hottest line of bulk construction.
+func (o *Overlay) subBounds(row, from, to int, bounds []int) {
+	cols := 1 << o.cfg.B
+	d := 0
+	bounds[0] = from
+	for i := from; i < to; i++ {
+		dig := o.index[i].ID.Digit(row, o.cfg.B)
+		for d < dig {
+			d++
+			bounds[d] = i
+		}
+	}
+	for d < cols {
+		d++
+		bounds[d] = to
+	}
+}
+
+// fillBlock fills row `row` for every node in the block o.index[from:to]
+// (all sharing `row` digits), then recurses into the multi-member
+// sub-blocks for the deeper rows. Row storage is written directly: the
+// sizing pass reserved every row this descent reaches.
+func (o *Overlay) fillBlock(row, from, to, digits int) {
+	if row == digits {
+		return
+	}
+	cols := 1 << o.cfg.B
+	// Boundaries live on the stack for the default digit widths; wide
+	// configs (b=8) spill to the heap, which only tests exercise.
+	var boundsArr [17]int
+	bounds := boundsArr[:]
+	if cols+1 > len(bounds) {
+		bounds = make([]int, cols+1)
+	}
+	bounds = bounds[:cols+1]
+	o.subBounds(row, from, to, bounds)
+	base := row * cols
+	for i := from; i < to; i++ {
+		node := o.nodeAt(o.index[i].Addr)
+		own := node.ref.ID.Digit(row, o.cfg.B)
+		refs := node.RT.refs[base : base+cols]
+		for d := 0; d < cols; d++ {
+			if d == own || bounds[d] == bounds[d+1] {
+				continue
+			}
+			refs[d] = o.pickBySlot(node, o.index[bounds[d]:bounds[d+1]])
+		}
+	}
+	for d := 0; d < cols; d++ {
+		if bounds[d+1]-bounds[d] > 1 {
+			o.fillBlock(row+1, bounds[d], bounds[d+1], digits)
+		}
+	}
 }
 
 // repairEntry finds a live replacement for the empty or stale slot
@@ -404,24 +605,15 @@ func (o *Overlay) Join() *Node {
 // JoinWithID adds a node with a chosen id (tests use this to build
 // adversarial placements). Panics if the id is taken.
 func (o *Overlay) JoinWithID(nid id.ID) *Node {
-	if _, dup := o.byID[nid]; dup {
+	if o.ByID(nid) != nil {
 		panic(fmt.Sprintf("pastry: duplicate id %s", nid))
 	}
-	node := &Node{
-		ref:   NodeRef{ID: nid, Addr: simnet.Addr(len(o.nodes))},
-		cfg:   o.cfg,
-		ov:    o,
-		Leaf:  NewLeafSet(nid, o.cfg.LeafSize),
-		RT:    NewRoutingTable(nid, o.cfg.B),
-		alive: true,
-	}
-	o.nodes = append(o.nodes, node)
-	o.byID[nid] = node
+	node := o.newNode(nid)
 
 	p := o.pos(nid)
-	o.index = append(o.index, id.ID{})
+	o.index = append(o.index, NodeRef{})
 	copy(o.index[p+1:], o.index[p:])
-	o.index[p] = nid
+	o.index[p] = node.ref
 
 	o.recomputeLeaf(node)
 	o.fillRoutingTable(node)
@@ -436,7 +628,7 @@ func (o *Overlay) JoinWithID(nid id.ID) *Node {
 		nb.RT.Consider(node.ref)
 	}
 	for _, e := range node.RT.Entries() {
-		o.byID[e.ID].RT.Consider(node.ref)
+		o.nodeAt(e.Addr).RT.Consider(node.ref)
 	}
 	if o.OnJoin != nil {
 		o.OnJoin(node)
@@ -453,7 +645,7 @@ func (o *Overlay) Fail(addr simnet.Addr) error {
 	if node == nil {
 		return fmt.Errorf("pastry: no node at addr %d", addr)
 	}
-	if !node.alive {
+	if !node.Alive() {
 		return fmt.Errorf("pastry: node at addr %d already dead", addr)
 	}
 	if len(o.index) == 1 {
@@ -465,8 +657,7 @@ func (o *Overlay) Fail(addr simnet.Addr) error {
 	// reference it.
 	affected := o.neighborsAround(p)
 	o.index = append(o.index[:p], o.index[p+1:]...)
-	delete(o.byID, node.ref.ID)
-	node.alive = false
+	o.clearAlive(addr)
 
 	// Leaf-set repair: the surviving ring neighbors recompute, and drop
 	// the dead node from their routing tables (they detected the failure
@@ -490,7 +681,7 @@ func (o *Overlay) Fail(addr simnet.Addr) error {
 // replays the same decisions per hop.
 func (o *Overlay) RoutePath(from simnet.Addr, key id.ID) ([]NodeRef, error) {
 	cur := o.Node(from)
-	if cur == nil || !cur.alive {
+	if cur == nil || !cur.Alive() {
 		return nil, fmt.Errorf("pastry: route from dead or unknown addr %d", from)
 	}
 	path := []NodeRef{cur.ref}
@@ -502,12 +693,11 @@ func (o *Overlay) RoutePath(from simnet.Addr, key id.ID) ([]NodeRef, error) {
 		if deliver {
 			return path, nil
 		}
-		nxt := o.byID[next.ID]
-		if nxt == nil {
+		if !o.aliveRef(next) {
 			return path, fmt.Errorf("pastry: next hop %s vanished mid-route", next)
 		}
-		path = append(path, nxt.ref)
-		cur = nxt
+		path = append(path, next)
+		cur = o.nodeAt(next.Addr)
 	}
 }
 
@@ -518,7 +708,7 @@ func (o *Overlay) Lookup(from simnet.Addr, key id.ID) (*Node, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	dst := o.byID[path[len(path)-1].ID]
+	dst := o.nodeAt(path[len(path)-1].Addr)
 	return dst, len(path) - 1, nil
 }
 
@@ -528,20 +718,20 @@ func (o *Overlay) Lookup(from simnet.Addr, key id.ID) (*Node, int, error) {
 // cmd/tapinspect call it; it is O(N · L).
 func (o *Overlay) CheckInvariants() error {
 	for i := 1; i < len(o.index); i++ {
-		if !o.index[i-1].Less(o.index[i]) {
+		if !o.index[i-1].ID.Less(o.index[i].ID) {
 			return fmt.Errorf("index unsorted at %d", i)
 		}
 	}
-	for _, nid := range o.index {
-		node := o.byID[nid]
-		if node == nil || !node.alive {
-			return fmt.Errorf("index references dead node %s", nid.Short())
+	for _, r := range o.index {
+		node := o.Node(r.Addr)
+		if node == nil || !node.Alive() || node.ref != r {
+			return fmt.Errorf("index references dead or mismatched node %s", r)
 		}
+		nid := r.ID
 		// Leaf set must equal the oracle's view.
-		want := NewLeafSet(nid, o.cfg.LeafSize)
-		tmp := &Node{ref: node.ref, cfg: o.cfg, ov: o, Leaf: want}
-		o.recomputeLeaf(tmp)
-		gotM, wantM := node.Leaf.Members(), want.Members()
+		tmp := Node{ref: node.ref, cfg: o.cfg, ov: o, Leaf: *NewLeafSet(nid, o.cfg.LeafSize)}
+		o.recomputeLeaf(&tmp)
+		gotM, wantM := node.Leaf.Members(), tmp.Leaf.Members()
 		if len(gotM) != len(wantM) {
 			return fmt.Errorf("node %s leaf size %d, oracle %d", nid.Short(), len(gotM), len(wantM))
 		}

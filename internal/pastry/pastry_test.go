@@ -333,7 +333,7 @@ func TestProximityInfluencesRoutingTable(t *testing.T) {
 	o2.Proximity = prox
 	for _, r := range o2.LiveRefs() {
 		n := o2.ByID(r.ID)
-		n.RT = NewRoutingTable(r.ID, cfg.B)
+		n.RT = *NewRoutingTable(r.ID, cfg.B)
 		o2.fillRoutingTable(n)
 	}
 	sum := func(o *Overlay) (total int64, count int64) {

@@ -11,43 +11,69 @@ import (
 //
 // Entries may go stale when nodes fail; routing skips dead entries and the
 // overlay repairs them lazily (see Node.nextHop and Overlay.repairEntry).
+//
+// Rows live in one flat array-backed block (refs[row*cols+d]) carved from
+// the overlay's ref slab for arena nodes; the block grows row-granular on
+// first touch, so a node's table costs exactly as many rows as its prefix
+// neighborhood is deep.
 type RoutingTable struct {
 	owner id.ID
 	b     int
 	cols  int
-	rows  [][]NodeRef // rows[r][d]; zero NodeRef means empty
-	used  int         // number of rows materialized
+	refs  []NodeRef // refs[row*cols+d]; zero NodeRef means empty
+	slab  *refSlab  // nil means heap-allocated growth
 }
 
 // NewRoutingTable returns a table with no rows materialized; rows grow on
 // first touch up to the id digit count.
 func NewRoutingTable(owner id.ID, b int) *RoutingTable {
-	return &RoutingTable{
-		owner: owner,
-		b:     b,
-		cols:  1 << b,
-	}
+	t := &RoutingTable{}
+	t.init(owner, b, nil)
+	return t
+}
+
+// init prepares t in place, drawing row storage from slab when non-nil.
+func (t *RoutingTable) init(owner id.ID, b int, slab *refSlab) {
+	t.owner = owner
+	t.b = b
+	t.cols = 1 << b
+	t.refs = nil
+	t.slab = slab
+}
+
+// Reserve materializes storage for the first `rows` rows in one block.
+// The overlay calls it before a bulk fill so construction performs a
+// single slab carve instead of a grow-and-copy per row.
+func (t *RoutingTable) Reserve(rows int) {
+	t.ensureRow(rows - 1)
 }
 
 // ensureRow materializes rows up to and including r.
 func (t *RoutingTable) ensureRow(r int) {
-	for len(t.rows) <= r {
-		t.rows = append(t.rows, make([]NodeRef, t.cols))
+	need := (r + 1) * t.cols
+	if need <= len(t.refs) {
+		return
 	}
-	if r+1 > t.used {
-		t.used = r + 1
+	var refs []NodeRef
+	if t.slab != nil {
+		refs = t.slab.grab(need)
+	} else {
+		refs = make([]NodeRef, need)
 	}
+	copy(refs, t.refs)
+	t.refs = refs
 }
 
 // Rows returns the number of materialized rows.
-func (t *RoutingTable) Rows() int { return len(t.rows) }
+func (t *RoutingTable) Rows() int { return len(t.refs) / t.cols }
 
 // Get returns the entry at (row, digit) and whether it is populated.
 func (t *RoutingTable) Get(row, digit int) (NodeRef, bool) {
-	if row >= len(t.rows) {
+	i := row*t.cols + digit
+	if i >= len(t.refs) {
 		return NodeRef{}, false
 	}
-	e := t.rows[row][digit]
+	e := t.refs[i]
 	if e.ID.IsZero() {
 		return NodeRef{}, false
 	}
@@ -57,13 +83,13 @@ func (t *RoutingTable) Get(row, digit int) (NodeRef, bool) {
 // Set installs ref at (row, digit), materializing the row if needed.
 func (t *RoutingTable) Set(row, digit int, ref NodeRef) {
 	t.ensureRow(row)
-	t.rows[row][digit] = ref
+	t.refs[row*t.cols+digit] = ref
 }
 
 // Clear empties the entry at (row, digit).
 func (t *RoutingTable) Clear(row, digit int) {
-	if row < len(t.rows) {
-		t.rows[row][digit] = NodeRef{}
+	if i := row*t.cols + digit; i < len(t.refs) {
+		t.refs[i] = NodeRef{}
 	}
 }
 
@@ -88,12 +114,12 @@ func (t *RoutingTable) Consider(ref NodeRef) {
 // found.
 func (t *RoutingTable) Remove(nid id.ID) bool {
 	row := t.owner.CommonPrefixDigits(nid, t.b)
-	if row >= len(t.rows) {
+	if row*t.cols >= len(t.refs) {
 		return false
 	}
 	digit := nid.Digit(row, t.b)
-	if t.rows[row][digit].ID == nid {
-		t.rows[row][digit] = NodeRef{}
+	if i := row*t.cols + digit; i < len(t.refs) && t.refs[i].ID == nid {
+		t.refs[i] = NodeRef{}
 		return true
 	}
 	return false
@@ -102,11 +128,9 @@ func (t *RoutingTable) Remove(nid id.ID) bool {
 // Entries returns all populated entries. Freshly allocated.
 func (t *RoutingTable) Entries() []NodeRef {
 	var out []NodeRef
-	for _, row := range t.rows {
-		for _, e := range row {
-			if !e.ID.IsZero() {
-				out = append(out, e)
-			}
+	for _, e := range t.refs {
+		if !e.ID.IsZero() {
+			out = append(out, e)
 		}
 	}
 	return out
@@ -115,11 +139,9 @@ func (t *RoutingTable) Entries() []NodeRef {
 // EntryCount returns the number of populated entries.
 func (t *RoutingTable) EntryCount() int {
 	n := 0
-	for _, row := range t.rows {
-		for _, e := range row {
-			if !e.ID.IsZero() {
-				n++
-			}
+	for _, e := range t.refs {
+		if !e.ID.IsZero() {
+			n++
 		}
 	}
 	return n

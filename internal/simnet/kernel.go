@@ -16,8 +16,8 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"time"
 )
 
@@ -25,45 +25,53 @@ import (
 // since the start of the simulation.
 type Time = time.Duration
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events live in the kernel's slot arena
+// and are referenced by index; the queues shuffle 4-byte slot numbers, not
+// pointers, and freed slots are recycled through a freelist so Schedule
+// allocates nothing in steady state.
 type event struct {
 	at  Time
 	seq uint64 // tie-break so equal-time events run in schedule order
 	fn  func()
 }
 
-// eventQueue is a binary min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
+// Calendar-queue geometry. Near-future events hash into a ring of buckets
+// by time tick (tick = at >> tickShift); each ring slot covers exactly one
+// tick of the current window, so the first occupied slot at or after the
+// cursor always holds the global minimum among ring events. Events beyond
+// the window ("far future", e.g. multi-second timeouts against
+// millisecond-scale traffic) wait in a single binary heap and migrate into
+// the ring as the window slides over them — a timer-wheel-with-overflow
+// design; each event migrates at most once because the window only moves
+// forward.
+const (
+	tickShift   = 20 // 2^20 ns ≈ 1.05 ms per bucket, matching link-latency scale
+	numBuckets  = 1024
+	bucketMask  = numBuckets - 1
+	bitmapWords = numBuckets / 64
+)
 
 // Kernel is the discrete-event scheduler. The zero value is not usable;
 // construct with NewKernel.
 type Kernel struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
 	stopped bool
 	steps   uint64
 	// MaxSteps guards against runaway simulations (a routing loop would
 	// otherwise spin the event loop forever). Zero means no limit.
 	MaxSteps uint64
+
+	ev   []event  // slot arena; queues reference slots by index
+	free []uint32 // recycled slots
+
+	count    int // scheduled events, ring + far
+	near     int // events currently in the ring
+	baseTick int64
+	basePos  int                  // ring position of baseTick; always baseTick&bucketMask
+	buckets  [numBuckets][]uint32 // per-tick min-heaps ordered by (at, seq)
+	occupied [bitmapWords]uint64  // bit per non-empty bucket
+	far      []uint32             // min-heap of events with tick >= baseTick+numBuckets
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -77,9 +85,14 @@ func (k *Kernel) Now() Time { return k.now }
 // Steps returns the number of events executed so far.
 func (k *Kernel) Steps() uint64 { return k.steps }
 
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return k.count }
+
 // Schedule runs fn after delay of simulated time. A negative delay is a
 // programming error and panics; zero schedules for "immediately after the
-// current event", preserving causal order.
+// current event", preserving causal order. Steady-state Schedule performs
+// no heap allocations: the event slot comes from the freelist and queue
+// backing arrays retain their capacity.
 func (k *Kernel) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("simnet: negative delay %v", delay))
@@ -94,7 +107,17 @@ func (k *Kernel) At(t Time, fn func()) {
 		panic(fmt.Sprintf("simnet: scheduling into the past (%v < %v)", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+	s := k.allocSlot()
+	k.ev[s] = event{at: t, seq: k.seq, fn: fn}
+	k.count++
+	if tick := int64(t >> tickShift); tick < k.baseTick+numBuckets {
+		// baseTick never exceeds the tick of the event being executed, so
+		// t >= now implies tick >= baseTick: the event is inside the window.
+		k.pushBucket(int(tick&bucketMask), s)
+		k.near++
+	} else {
+		k.pushFar(s)
+	}
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -106,14 +129,10 @@ func (k *Kernel) Stop() { k.stopped = true }
 // identifying the overrun — almost always a routing loop).
 func (k *Kernel) Run() error {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		e := heap.Pop(&k.queue).(*event)
-		k.now = e.at
-		k.steps++
-		if k.MaxSteps > 0 && k.steps > k.MaxSteps {
-			return fmt.Errorf("simnet: exceeded %d events at t=%v (likely a message loop)", k.MaxSteps, k.now)
+	for k.count > 0 && !k.stopped {
+		if err := k.step(); err != nil {
+			return err
 		}
-		e.fn()
 	}
 	return nil
 }
@@ -122,17 +141,13 @@ func (k *Kernel) Run() error {
 // clock to the deadline. Events beyond the deadline remain queued.
 func (k *Kernel) RunUntil(deadline Time) error {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		if k.queue[0].at > deadline {
+	for k.count > 0 && !k.stopped {
+		if k.peekTime() > deadline {
 			break
 		}
-		e := heap.Pop(&k.queue).(*event)
-		k.now = e.at
-		k.steps++
-		if k.MaxSteps > 0 && k.steps > k.MaxSteps {
-			return fmt.Errorf("simnet: exceeded %d events at t=%v", k.MaxSteps, k.now)
+		if err := k.step(); err != nil {
+			return err
 		}
-		e.fn()
 	}
 	if k.now < deadline {
 		k.now = deadline
@@ -140,5 +155,199 @@ func (k *Kernel) RunUntil(deadline Time) error {
 	return nil
 }
 
-// Pending returns the number of queued events.
-func (k *Kernel) Pending() int { return len(k.queue) }
+// step pops and executes the earliest event.
+func (k *Kernel) step() error {
+	s := k.popMin()
+	e := &k.ev[s]
+	at, fn := e.at, e.fn
+	e.fn = nil // release the closure before recycling the slot
+	k.free = append(k.free, s)
+	k.now = at
+	k.steps++
+	if k.MaxSteps > 0 && k.steps > k.MaxSteps {
+		return fmt.Errorf("simnet: exceeded %d events at t=%v (likely a message loop)", k.MaxSteps, k.now)
+	}
+	fn()
+	return nil
+}
+
+// --- queue internals --------------------------------------------------------
+
+// less orders events by (at, seq): the same total order the pre-calendar
+// binary heap used, so execution order is bit-for-bit unchanged.
+func (k *Kernel) less(a, b uint32) bool {
+	ea, eb := &k.ev[a], &k.ev[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (k *Kernel) allocSlot() uint32 {
+	if n := len(k.free); n > 0 {
+		s := k.free[n-1]
+		k.free = k.free[:n-1]
+		return s
+	}
+	k.ev = append(k.ev, event{})
+	return uint32(len(k.ev) - 1)
+}
+
+// peekTime returns the timestamp of the earliest queued event. count must
+// be > 0. It does not move the window.
+func (k *Kernel) peekTime() Time {
+	if k.near > 0 {
+		pos := k.nextOccupied(k.basePos)
+		return k.ev[k.buckets[pos][0]].at
+	}
+	return k.ev[k.far[0]].at
+}
+
+// popMin removes and returns the slot of the earliest event, sliding the
+// window forward as needed. count must be > 0.
+func (k *Kernel) popMin() uint32 {
+	if k.near == 0 {
+		// Jump the window to the earliest far event's tick and pull every
+		// far event the new window covers into the ring.
+		k.baseTick = int64(k.ev[k.far[0]].at >> tickShift)
+		k.basePos = int(k.baseTick & bucketMask)
+		k.migrateFar()
+	}
+	pos := k.nextOccupied(k.basePos)
+	if pos != k.basePos {
+		// Advance baseTick by the ring distance walked. Every ring event's
+		// tick is >= baseTick, so skipped buckets stay empty for the
+		// current window and the slide is safe.
+		d := int64(pos-k.basePos) & bucketMask
+		k.baseTick += d
+		k.basePos = pos
+		k.migrateFar()
+		// Migration can only add events at or after the new base tick, so
+		// pos still indexes the minimum's bucket.
+	}
+	s := k.popBucket(pos)
+	k.near--
+	k.count--
+	return s
+}
+
+// migrateFar moves far-heap events the current window now covers into the
+// ring. The window only slides forward, so each event migrates at most
+// once.
+func (k *Kernel) migrateFar() {
+	horizon := k.baseTick + numBuckets
+	for len(k.far) > 0 {
+		s := k.far[0]
+		tick := int64(k.ev[s].at >> tickShift)
+		if tick >= horizon {
+			return
+		}
+		k.popFar()
+		k.pushBucket(int(tick&bucketMask), s)
+		k.near++
+	}
+}
+
+// nextOccupied returns the first non-empty bucket at or cyclically after
+// pos. near must be > 0.
+func (k *Kernel) nextOccupied(pos int) int {
+	word, bit := pos>>6, pos&63
+	if w := k.occupied[word] >> bit; w != 0 {
+		return pos + bits.TrailingZeros64(w)
+	}
+	for i := 1; i <= bitmapWords; i++ {
+		w := k.occupied[(word+i)&(bitmapWords-1)]
+		if w != 0 {
+			return ((word+i)&(bitmapWords-1))<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	panic("simnet: near count positive but no occupied bucket")
+}
+
+// pushBucket heap-inserts slot s into bucket pos.
+func (k *Kernel) pushBucket(pos int, s uint32) {
+	b := k.buckets[pos]
+	if len(b) == 0 {
+		k.occupied[pos>>6] |= 1 << (pos & 63)
+	}
+	b = append(b, s)
+	// Sift up.
+	i := len(b) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.less(b[i], b[parent]) {
+			break
+		}
+		b[i], b[parent] = b[parent], b[i]
+		i = parent
+	}
+	k.buckets[pos] = b
+}
+
+// popBucket removes and returns the minimum slot of bucket pos.
+func (k *Kernel) popBucket(pos int) uint32 {
+	b := k.buckets[pos]
+	s := b[0]
+	n := len(b) - 1
+	b[0] = b[n]
+	b = b[:n]
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && k.less(b[r], b[l]) {
+			m = r
+		}
+		if !k.less(b[m], b[i]) {
+			break
+		}
+		b[i], b[m] = b[m], b[i]
+		i = m
+	}
+	k.buckets[pos] = b
+	if n == 0 {
+		k.occupied[pos>>6] &^= 1 << (pos & 63)
+	}
+	return s
+}
+
+// pushFar heap-inserts slot s into the far-future heap.
+func (k *Kernel) pushFar(s uint32) {
+	k.far = append(k.far, s)
+	i := len(k.far) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.less(k.far[i], k.far[parent]) {
+			break
+		}
+		k.far[i], k.far[parent] = k.far[parent], k.far[i]
+		i = parent
+	}
+}
+
+// popFar removes the minimum slot of the far-future heap.
+func (k *Kernel) popFar() {
+	n := len(k.far) - 1
+	k.far[0] = k.far[n]
+	k.far = k.far[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && k.less(k.far[r], k.far[l]) {
+			m = r
+		}
+		if !k.less(k.far[m], k.far[i]) {
+			break
+		}
+		k.far[i], k.far[m] = k.far[m], k.far[i]
+		i = m
+	}
+}
