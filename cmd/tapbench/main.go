@@ -7,8 +7,9 @@
 // Benchmarks are grouped by cost so each group can use a sampling policy
 // matched to its runtime:
 //
-//   - hot:     the steady-state hot paths (LayeredSeal/LayeredPeel plus
-//     the TunnelPool probe cycle) — many timed samples, minimum taken, so
+//   - hot:     the steady-state hot paths (LayeredSeal/LayeredPeel, the
+//     TunnelPool probe cycle, the kernel schedule/run cycle, and the
+//     windowed stream transfer) — many timed samples, minimum taken, so
 //     shared-VM scheduler noise does not masquerade as a regression (or
 //     an improvement);
 //   - micro:   the remaining micro-benchmarks — a few short samples;
@@ -77,7 +78,7 @@ type group struct {
 }
 
 var defaultGroups = []group{
-	{name: "hot", pattern: "^(BenchmarkLayeredSeal|BenchmarkLayeredPeel|BenchmarkPoolProbeCycle|BenchmarkKernelScheduleRun)$", benchtime: "500ms", count: 10},
+	{name: "hot", pattern: "^(BenchmarkLayeredSeal|BenchmarkLayeredPeel|BenchmarkPoolProbeCycle|BenchmarkKernelScheduleRun|BenchmarkStreamThroughput)$", benchtime: "500ms", count: 10},
 	{name: "micro", pattern: "^(BenchmarkSeal|BenchmarkOpen|BenchmarkSealer|BenchmarkPastryRoute|BenchmarkOverlayBuild|BenchmarkTunnelWalk|BenchmarkPastryJoinProtocol|BenchmarkReplicaMigration|BenchmarkSecureLookup)", benchtime: "200ms", count: 3},
 	{name: "figures", pattern: "^(BenchmarkFig|BenchmarkExt|BenchmarkAblation)", benchtime: "1x", count: 1},
 }

@@ -49,14 +49,15 @@ func main() {
 		seeds    = flag.Int("seeds", 50, "number of seeds to sweep per profile (0: unbounded, needs -budget)")
 		start    = flag.Uint64("start", 1, "first seed of the sweep")
 		one      = flag.Uint64("seed", 0, "replay a single seed and exit (overrides -seeds)")
-		profile  = flag.String("profile", "full", "scenario profile: full|membership|storage|all")
+		profile  = flag.String("profile", "full", "scenario profile: full|membership|storage|pool|stream|all")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scenario runners")
 		budget   = flag.Duration("budget", 0, "wall-clock budget; stop dispatching new seeds after this (0: none)")
 		shrinkN  = flag.Int("shrink-budget", dst.DefaultShrinkRuns, "max replays the shrinker may spend per violation")
 		traceDir = flag.String("trace-dir", "", "write one <profile>-seed<N>.json trace per violation into this directory")
 		verbose  = flag.Bool("v", false, "log every seed, not just violations")
 		mutate   = flag.String("mutate", "", "plant a known bug to exercise the violation path: "+
-			"skip-migration|corrupt-leaf|drop-onion-layer|leak-payload|disable-ack-dedup")
+			"skip-migration|corrupt-leaf|drop-onion-layer|leak-payload|disable-ack-dedup|"+
+			"stall-rebuild|uncapped-rebuild|stream-reorder-bypass|stream-window-bypass")
 	)
 	flag.Parse()
 
@@ -210,6 +211,10 @@ func parseMutation(s string) (dst.Mutations, error) {
 		m.StallRebuild = true
 	case "uncapped-rebuild":
 		m.UncappedRebuild = true
+	case "stream-reorder-bypass":
+		m.StreamReorderBypass = true
+	case "stream-window-bypass":
+		m.StreamWindowBypass = true
 	default:
 		return m, fmt.Errorf("unknown mutation %q", s)
 	}
@@ -218,12 +223,13 @@ func parseMutation(s string) (dst.Mutations, error) {
 
 func parseProfiles(s string) ([]dst.Profile, error) {
 	switch dst.Profile(s) {
-	case dst.ProfileFull, dst.ProfileMembership, dst.ProfileStorage, dst.ProfilePool:
+	case dst.ProfileFull, dst.ProfileMembership, dst.ProfileStorage, dst.ProfilePool,
+		dst.ProfileStream:
 		return []dst.Profile{dst.Profile(s)}, nil
 	}
 	if s == "all" {
 		return []dst.Profile{dst.ProfileFull, dst.ProfileMembership,
-			dst.ProfileStorage, dst.ProfilePool}, nil
+			dst.ProfileStorage, dst.ProfilePool, dst.ProfileStream}, nil
 	}
-	return nil, fmt.Errorf("unknown profile %q (full|membership|storage|pool|all)", s)
+	return nil, fmt.Errorf("unknown profile %q (full|membership|storage|pool|stream|all)", s)
 }

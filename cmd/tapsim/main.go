@@ -46,6 +46,10 @@ func main() {
 		sizes   = flag.String("sizes", "", "ext-scale: comma-separated network sizes (default 1000,10000,100000,1000000)")
 		routes  = flag.Int("routes", 0, "ext-scale: measured routes per size (default 10000)")
 		budget  = flag.Duration("budget", 0, "ext-scale: fail if the sweep exceeds this wall-clock budget (0 = none)")
+		flows   = flag.Int("flows", 0, "ext-throughput: concurrent stream flows per combo (default 2000)")
+		windows = flag.String("windows", "", "ext-throughput: comma-separated send-window sizes (default 1,16)")
+		clients = flag.Int("clients", 0, "ext-throughput: stream sources (default 16)")
+		fbytes  = flag.Int("flowbytes", 0, "ext-throughput: payload bytes per stream (default 2048)")
 		outDir  = flag.String("out", "", "also write each table as CSV into this directory")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -280,6 +284,26 @@ func main() {
 			})
 		})
 	}
+	if strings.EqualFold(*exp, "ext-throughput") {
+		matched = true
+		var ws []int
+		if *windows != "" {
+			for _, s := range strings.Split(*windows, ",") {
+				var v int
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil || v < 1 {
+					fmt.Fprintf(os.Stderr, "tapsim: -windows: bad window %q\n", s)
+					os.Exit(2)
+				}
+				ws = append(ws, v)
+			}
+		}
+		run("ext-throughput", func() (*trace.Table, error) {
+			return experiments.ExtThroughput(experiments.ExtThroughputParams{
+				N: *n, Length: *length, Flows: *flows, Windows: ws,
+				Clients: *clients, FlowBytes: *fbytes, Seed: *seed,
+			})
+		})
+	}
 	if strings.EqualFold(*exp, "ext") {
 		matched = true
 		run("ext-secroute", func() (*trace.Table, error) {
@@ -311,7 +335,7 @@ func main() {
 		})
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "tapsim: unknown experiment %q (want fig2|fig3|fig4a|fig4b|fig5|fig6|all|ext|ext-secroute|ext-detect|ext-cover|ext-anon|ext-session|ext-inflight|ext-timing|ext-reliability|ext-selfheal|ext-scale)\n", *exp)
+		fmt.Fprintf(os.Stderr, "tapsim: unknown experiment %q (want fig2|fig3|fig4a|fig4b|fig5|fig6|all|ext|ext-secroute|ext-detect|ext-cover|ext-anon|ext-session|ext-inflight|ext-timing|ext-reliability|ext-selfheal|ext-scale|ext-throughput)\n", *exp)
 		os.Exit(2)
 	}
 }

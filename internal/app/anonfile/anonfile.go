@@ -43,6 +43,15 @@ func (l *Library) Publish(name string, content []byte) id.ID {
 	return fid
 }
 
+// PublishID stores content under an explicit fid — the upload reassembly
+// path, where the fid arrives as the stream's destination id.
+func (l *Library) PublishID(fid id.ID, content []byte) {
+	l.files[fid] = append([]byte(nil), content...)
+}
+
+// Get returns the stored content for fid.
+func (l *Library) Get(fid id.ID) ([]byte, bool) { return l.lookup(fid) }
+
 // lookup returns the content for fid, as the responder node would from
 // its local storage.
 func (l *Library) lookup(fid id.ID) ([]byte, bool) {
@@ -222,4 +231,65 @@ func Retrieve(lib *Library, in *core.Initiator, fwd, rep *core.Tunnel, fid id.ID
 		ReplyStats:   rres.Stats,
 		Responder:    fres.DestNode.ID,
 	}, nil
+}
+
+// --- windowed-stream upload --------------------------------------------------
+
+// UploadServer reassembles windowed-stream uploads into a Library:
+// anonymous publication, the §4 exchange run toward the network. Each
+// incoming stream is addressed to the fileid it publishes; the stream
+// layer delivers segments in order exactly once, and the completed file is
+// stored when the FIN arrives.
+type UploadServer struct {
+	lib *Library
+	// Stored counts completed uploads per fid — the exactly-once
+	// observable: a correct run stores each upload exactly once no matter
+	// how many segments were retransmitted or duplicated in flight.
+	Stored map[id.ID]int
+}
+
+// ServeUploads installs upload reassembly on eng's incoming streams.
+func ServeUploads(lib *Library, eng *core.NetEngine) *UploadServer {
+	srv := &UploadServer{lib: lib, Stored: make(map[id.ID]int)}
+	eng.OnStream = func(rs *core.RecvStream) {
+		var buf []byte
+		rs.OnData = func(seq uint64, data []byte) {
+			buf = append(buf, data...)
+		}
+		rs.OnClose = func(rs *core.RecvStream) {
+			fid := rs.Dest()
+			srv.lib.PublishID(fid, buf)
+			srv.Stored[fid]++
+		}
+	}
+	return srv
+}
+
+// Upload streams content toward the responder for name's fid over the
+// initiator's forward tunnel: every segment rides the tunnel as a sealed
+// envelope, so the responder learns the file and the tunnel exit, never
+// the initiator. Writes are pumped through the send window as
+// acknowledgments free space; done fires with the stream outcome once the
+// FIN is acknowledged. Returns the fid and the stream for inspection.
+func Upload(eng *core.NetEngine, in *core.Initiator, tun *core.Tunnel, cache *core.HintCache,
+	name string, content []byte, cfg core.StreamConfig, done func(ok bool)) (id.ID, *core.Stream) {
+
+	fid := id.HashString(name)
+	s := eng.OpenTunnelStream(in.Node().Ref().Addr, tun, cache, fid, cfg)
+	s.OnComplete = done
+	off := 0
+	pump := func() {
+		for off < len(content) {
+			want := len(content) - off
+			n := s.Write(content[off:])
+			off += n
+			if n < want {
+				return // window full; resumed by OnWritable
+			}
+		}
+		s.Close()
+	}
+	s.OnWritable = pump
+	pump()
+	return fid, s
 }

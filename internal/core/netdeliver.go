@@ -7,6 +7,7 @@ import (
 	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/simnet"
+	"tap/internal/wire"
 )
 
 // NetEngine drives tunnel traffic through the discrete-event network, the
@@ -35,6 +36,25 @@ type NetEngine struct {
 	// could not reach — so later dispatches fall back to DHT routing
 	// instead of repeating the same miss.
 	staleHints map[hintKey]struct{}
+	// tunnelRTO remembers the backed-off retransmit timeout per tunnel
+	// (keyed by first hop), so a new flow over a tunnel that just proved
+	// lossy starts from the inherited backoff instead of resetting it.
+	tunnelRTO map[id.ID]simnet.Time
+
+	// Windowed-stream state (stream.go).
+	nextStream    uint64
+	sendStreams   map[uint64]*Stream
+	recvStreams   map[uint64]*RecvStream
+	closedStreams map[uint64]closedStreamRec
+	// OnStream, when non-nil, observes each incoming stream when its first
+	// segment arrives, so the application can install OnData/OnClose.
+	OnStream func(rs *RecvStream)
+
+	// Packet and segment-buffer freelists. The event loop is single-
+	// threaded, so plain slices suffice; in steady state the stream hot
+	// path allocates nothing.
+	pktFree  []*packet
+	segPools map[int][][]byte
 
 	// Stats across all flows.
 	NetHops   uint64
@@ -48,6 +68,15 @@ type NetEngine struct {
 	DupDeliveries uint64 // duplicate data arrivals at terminals
 	PacketsLost   uint64 // reliable-flow packets that died mid-flight
 	StaleHints    uint64 // distinct hints invalidated
+	// Windowed-stream stats (stream.go).
+	StreamSegsSent  uint64 // original segment transmissions
+	StreamSegsRetx  uint64 // segment retransmissions (timeout or fast)
+	StreamFastRetx  uint64 // fast retransmits triggered by duplicate ACKs
+	StreamTimeouts  uint64 // RTO expirations
+	StreamAcksSent  uint64 // stream ACK frames transmitted by receivers
+	StreamDupSegs   uint64 // duplicate segment arrivals suppressed
+	StreamSegsLost  uint64 // segments that died mid-route (node death)
+	StreamBytesRecv uint64 // in-order payload bytes delivered to applications
 
 	// OnDeliver, when non-nil, observes every data arrival at a flow's
 	// terminal: dup=false is the first delivery handed to the application,
@@ -61,6 +90,19 @@ type NetEngine struct {
 	// application as if it were fresh. The simulation checker plants it to
 	// prove the exactly-once invariant fires. Never set it otherwise.
 	DisableAckDedup bool
+
+	// StreamReorderBypass is a fault-injection seam: when set, stream
+	// receivers hand every segment to the application in arrival order,
+	// skipping the reorder buffer and its dedup. The simulation checker
+	// plants it to prove the in-order-stream-delivery invariant fires.
+	// Never set it otherwise.
+	StreamReorderBypass bool
+
+	// StreamWindowBypass is a fault-injection seam: when set, stream
+	// senders ignore their configured window and keep up to four windows
+	// of segments in flight. The simulation checker plants it to prove
+	// the window-conservation invariant fires. Never set it otherwise.
+	StreamWindowBypass bool
 
 	// Tap, when non-nil, observes the protocol events a node operator
 	// can see at its own node: tunnel envelopes received, and exits
@@ -102,10 +144,12 @@ type Outcome struct {
 
 // packet kinds.
 const (
-	kindPayload byte = iota + 1 // plain payload riding to Target's owner
-	kindForward                 // forward-tunnel envelope
-	kindReply                   // reply-tunnel envelope
-	kindAck                     // end-to-end delivery ACK (reliability protocol)
+	kindPayload   byte = iota + 1 // plain payload riding to Target's owner
+	kindForward                   // forward-tunnel envelope
+	kindReply                     // reply-tunnel envelope
+	kindAck                       // end-to-end delivery ACK (reliability protocol)
+	kindStream                    // windowed-stream data segment (stream.go)
+	kindStreamAck                 // cumulative+SACK stream acknowledgment (stream.go)
 )
 
 // packet is the single wire message type: content plus DHT routing state.
@@ -129,6 +173,17 @@ type packet struct {
 	// being acknowledged.
 	ackTo    simnet.Addr
 	dataHops int
+
+	// Windowed-stream fields (stream.go). On kindStream: seq, fin, and the
+	// segment payload (data aliases the sender's window slot — safe because
+	// the slot is rewritten only after the receiver has acknowledged this
+	// seq, and any later copy is deduplicated by seq before data is read).
+	// On kindStreamAck: cum plus the selective ranges, wire.AckVerSACK.
+	seq    uint64
+	fin    bool
+	data   []byte
+	cum    uint64
+	ranges []wire.AckRange
 }
 
 // SizeBytes implements simnet.Message.
@@ -141,6 +196,10 @@ func (p *packet) SizeBytes() int {
 		return header + p.renv.SizeBytes()
 	case kindAck:
 		return header + 8
+	case kindStream:
+		return header + 8 + 1 + 8 + 2 + len(p.data) // seq, fin, ackTo, len prefix
+	case kindStreamAck:
+		return header + wire.AckSizeSACK(len(p.ranges))
 	default:
 		return header + p.payloadSize
 	}
@@ -151,12 +210,17 @@ func (p *packet) SizeBytes() int {
 func NewNetEngine(svc *Service, net *simnet.Network) *NetEngine {
 	e := &NetEngine{
 		svc: svc, net: net,
-		done:       make(map[uint64]func(Outcome)),
-		pending:    make(map[uint64]struct{}),
-		flows:      make(map[uint64]*flowState),
-		acked:      make(map[uint64]ackRecord),
-		staleHints: make(map[hintKey]struct{}),
-		jitter:     svc.Stream.Split("netengine-jitter"),
+		done:          make(map[uint64]func(Outcome)),
+		pending:       make(map[uint64]struct{}),
+		flows:         make(map[uint64]*flowState),
+		acked:         make(map[uint64]ackRecord),
+		staleHints:    make(map[hintKey]struct{}),
+		tunnelRTO:     make(map[id.ID]simnet.Time),
+		sendStreams:   make(map[uint64]*Stream),
+		recvStreams:   make(map[uint64]*RecvStream),
+		closedStreams: make(map[uint64]closedStreamRec),
+		segPools:      make(map[int][][]byte),
+		jitter:        svc.Stream.Split("netengine-jitter"),
 	}
 	for _, r := range svc.OV.LiveRefs() {
 		e.attach(r.Addr)
@@ -204,6 +268,14 @@ func (e *NetEngine) newFlow(done func(Outcome)) uint64 {
 // otherwise the flow outcome fires once — duplicate or late packets of an
 // already-finished flow are ignored rather than re-counted.
 func (e *NetEngine) finish(self simnet.Addr, p *packet, delivered bool, why string) {
+	if p.kind == kindStream || p.kind == kindStreamAck {
+		// Stream traffic has its own retransmit machinery; a segment or
+		// ACK dying mid-route is recovered by the sender's RTO, not by a
+		// flow outcome. Stream ids live in their own space, so the flow
+		// maps below must never see them.
+		e.StreamSegsLost++
+		return
+	}
 	if st, ok := e.flows[p.flow]; ok {
 		// The flow is still pending under the reliability protocol.
 		if delivered {
@@ -285,6 +357,10 @@ func (e *NetEngine) deliver(self simnet.Addr, p *packet) {
 		e.handleAck(p)
 		return
 	}
+	if p.kind == kindStreamAck {
+		e.handleStreamAck(p)
+		return
+	}
 	if p.direct {
 		// A hint shortcut landed here. If this node can act on the packet
 		// (it holds the hop anchor), process it; otherwise the hint was
@@ -303,6 +379,16 @@ func (e *NetEngine) deliver(self simnet.Addr, p *packet) {
 				e.process(self, p)
 				return
 			}
+		case kindStream:
+			// The hint pointed straight at the destination owner; if this
+			// node still owns the target id, consume the segment here.
+			if node := e.svc.OV.Node(self); node != nil && node.Alive() {
+				if _, here := node.NextHop(p.target); here {
+					e.HintHits++
+					e.process(self, p)
+					return
+				}
+			}
 		}
 		e.HintMiss++
 		// The hinted node does not serve this hop any more: remember the
@@ -319,6 +405,9 @@ func (e *NetEngine) process(self simnet.Addr, p *packet) {
 	switch p.kind {
 	case kindPayload:
 		e.finish(self, p, true, "")
+
+	case kindStream:
+		e.handleStreamData(self, p)
 
 	case kindForward:
 		if e.Tap != nil && e.svc.Dir.Manager().HolderHas(self, p.env.HopID) {
@@ -341,6 +430,23 @@ func (e *NetEngine) process(self simnet.Addr, p *packet) {
 		if layer.IsExit {
 			if e.Tap != nil {
 				e.Tap.ExitObserved(self, e.net.Now(), p.flow, layer.Dest)
+			}
+			if wire.IsStreamSegment(layer.Payload) {
+				// A windowed-stream segment rode the tunnel: unwrap the
+				// framing and route the segment to the destination owner.
+				// The data slice aliases the exit's fresh decrypt buffer.
+				stream, seq, fin, ackTo, data, err := wire.ReadStreamSegment(layer.Payload)
+				if err != nil {
+					e.StreamSegsLost++
+					return
+				}
+				out := e.getPacket()
+				out.kind, out.flow, out.target = kindStream, stream, layer.Dest
+				out.hops, out.lastFrom = p.hops, p.lastFrom
+				out.seq, out.fin, out.data = seq, fin, data
+				out.ackTo = simnet.Addr(ackTo)
+				e.forwardToward(self, out)
+				return
 			}
 			// Tail hop: route the payload to the destination owner.
 			out := &packet{
@@ -467,6 +573,10 @@ func WireBytes(msg simnet.Message) [][]byte {
 		return [][]byte{p.env.Sealed}
 	case kindReply:
 		return [][]byte{p.renv.Onion, p.renv.Data}
+	case kindStream:
+		// Stream segments between tunnel exit (or direct sender) and the
+		// destination owner expose their payload, like any overt transfer.
+		return [][]byte{p.data}
 	}
 	return nil
 }

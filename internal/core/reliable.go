@@ -41,6 +41,14 @@ type Reliability struct {
 	JitterFrac float64
 	// MinRTO floors the timeout. Default 50ms.
 	MinRTO simnet.Time
+	// HintInvalidateAfter is the number of RTO expirations after which a
+	// flow bound to a tunnel (SendOpts.Cache/Hops) stops trusting the
+	// cached hop addresses and invalidates them all — the exhaust-time
+	// path, run early. Before this change only direct-send misses
+	// invalidated hints, so a flow whose packets died beyond the first
+	// hop kept dispatching into the same poisoned cache until its budget
+	// ran out. Default 3.
+	HintInvalidateAfter int
 }
 
 func (r Reliability) withDefaults() Reliability {
@@ -61,6 +69,9 @@ func (r Reliability) withDefaults() Reliability {
 	}
 	if r.MinRTO == 0 {
 		r.MinRTO = 50 * time.Millisecond
+	}
+	if r.HintInvalidateAfter == 0 {
+		r.HintInvalidateAfter = 3
 	}
 	return r
 }
@@ -96,6 +107,13 @@ type flowState struct {
 	firstAt simnet.Time
 	lastAt  simnet.Time
 	lastErr string // why the most recent packet died, when observed
+	// backoffKey binds the flow to its tunnel's shared backoff memory
+	// (the first hop id); see NetEngine.tunnelRTO.
+	backoffKey    id.ID
+	hasBackoffKey bool
+	// hintsInvalidated marks that the repeated-RTO hint eviction already
+	// ran for this flow.
+	hintsInvalidated bool
 }
 
 // maxAttempts resolves the per-flow attempt budget.
@@ -145,7 +163,26 @@ func (e *NetEngine) hintStale(target id.ID, addr simnet.Addr) bool {
 	return ok
 }
 
-// startReliable registers flow state and fires the first attempt.
+// invalidateTunnelHints evicts every hop's cached address and records the
+// dead ends, so stale hints cannot keep poisoning later dispatches. This
+// is the exhaust-time cleanup, shared by flow exhaustion, repeated RTO
+// expiry, and stream failure.
+func (e *NetEngine) invalidateTunnelHints(cache *HintCache, hops []id.ID) {
+	if cache == nil {
+		return
+	}
+	for _, hop := range hops {
+		if a := cache.Get(hop); a != simnet.NoAddr {
+			e.markStaleHint(hop, a)
+			cache.Invalidate(hop)
+		}
+	}
+}
+
+// startReliable registers flow state and fires the first attempt. A flow
+// bound to a tunnel (opts.Hops) inherits that tunnel's remembered backoff:
+// retransmit state is per tunnel, not per message, so a lossy tunnel does
+// not reset to the optimistic initial timeout on every new send.
 func (e *NetEngine) startReliable(flow uint64, origin simnet.Addr, size int, opts SendOpts, resend func() (*packet, simnet.Addr)) {
 	st := &flowState{
 		origin:  origin,
@@ -153,6 +190,13 @@ func (e *NetEngine) startReliable(flow uint64, origin simnet.Addr, size int, opt
 		opts:    opts,
 		rto:     e.initialRTO(size),
 		firstAt: e.net.Now(),
+	}
+	if len(opts.Hops) > 0 {
+		st.backoffKey = opts.Hops[0]
+		st.hasBackoffKey = true
+		if stored := e.tunnelRTO[st.backoffKey]; stored > st.rto {
+			st.rto = stored
+		}
 	}
 	e.flows[flow] = st
 	e.attempt(flow, st)
@@ -201,6 +245,19 @@ func (e *NetEngine) armTimer(flow uint64, st *flowState) {
 			return
 		}
 		cur.rto = simnet.Time(float64(cur.rto) * e.rel.Backoff)
+		if cur.hasBackoffKey {
+			// Per-tunnel backoff memory: later flows over this tunnel
+			// start from the backed-off timeout instead of resetting it.
+			e.tunnelRTO[cur.backoffKey] = cur.rto
+		}
+		if !cur.hintsInvalidated && cur.attempts >= e.rel.HintInvalidateAfter {
+			// Repeated RTO expiry: every retransmission is dying
+			// somewhere past dispatch, so the cached hop addresses are no
+			// longer trustworthy. Run the exhaust-time eviction now so
+			// the remaining attempts re-resolve via the DHT.
+			cur.hintsInvalidated = true
+			e.invalidateTunnelHints(cur.opts.Cache, cur.opts.Hops)
+		}
 		e.attempt(flow, cur)
 	})
 }
@@ -216,14 +273,7 @@ func (e *NetEngine) exhaust(flow uint64, st *flowState) {
 	// address and remember the dead ends, so the stale hints cannot keep
 	// poisoning later flows (they would each burn a hint miss per send
 	// until somebody refreshed the cache).
-	if st.opts.Cache != nil {
-		for _, hop := range st.opts.Hops {
-			if a := st.opts.Cache.Get(hop); a != simnet.NoAddr {
-				e.markStaleHint(hop, a)
-				st.opts.Cache.Invalidate(hop)
-			}
-		}
-	}
+	e.invalidateTunnelHints(st.opts.Cache, st.opts.Hops)
 	why := st.lastErr
 	if why == "" {
 		why = "no ACK"
@@ -282,6 +332,21 @@ func (e *NetEngine) handleAck(p *packet) {
 	e.AcksRecv++
 	delete(e.flows, p.flow)
 	delete(e.pending, p.flow)
+	if st.hasBackoffKey {
+		if st.attempts == 1 {
+			// A first-attempt delivery proves the tunnel healthy again:
+			// drop its backoff memory.
+			delete(e.tunnelRTO, st.backoffKey)
+		} else if stored, ok := e.tunnelRTO[st.backoffKey]; ok {
+			// Delivered, but only after retransmits: decay rather than
+			// reset, so a marginal tunnel keeps some caution.
+			if stored /= 2; stored <= e.rel.MinRTO {
+				delete(e.tunnelRTO, st.backoffKey)
+			} else {
+				e.tunnelRTO[st.backoffKey] = stored
+			}
+		}
+	}
 	cb := e.done[p.flow]
 	delete(e.done, p.flow)
 	if cb == nil {

@@ -1,0 +1,870 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tap/internal/id"
+	"tap/internal/simnet"
+	"tap/internal/wire"
+)
+
+// This file implements windowed streaming over tunnels: a pipelined
+// sliding-window protocol replacing stop-and-wait for bulk transfers.
+// PR 1's reliability layer keeps one message in flight per flow, capping
+// per-flow throughput at ~1 payload per tunnel round trip. A Stream keeps
+// a configurable window of segments in flight, acknowledges them with
+// cumulative + selective (SACK) frames — wire-versioned in internal/wire —
+// estimates its retransmit timeout from measured RTTs (SRTT/RTTVAR,
+// RFC 6298 coefficients, Karn's rule on retransmitted segments), and
+// recovers single losses by fast retransmit on duplicate ACKs instead of
+// waiting out a full RTO.
+//
+// Segments travel in one of two modes. A direct stream rides kindStream
+// packets routed (or hint-shortcut) to the destination id's owner — the
+// overt bulk path, and the zero-allocation benchmark path. A tunnel
+// stream seals every segment as a §5 forward envelope over the owner's
+// tunnel; the tunnel exit unwraps the segment framing and routes it
+// onward, so the initiator stays anonymous while the window keeps the
+// pipe full. Acknowledgments return over the overt path to the sender's
+// address, exactly like PR 1's end-to-end ACKs.
+//
+// The hot path is zero-allocation in steady state: window slots are ring
+// buffers with pooled payload storage, packets come from a freelist, ACK
+// ranges reuse per-packet arrays, and the retransmit timer re-arms a
+// single preallocated closure through the kernel's slot arena.
+
+// streamIDBase offsets stream ids away from reliable-flow ids so the two
+// id spaces can never collide in the engine's shared packet field.
+const streamIDBase uint64 = 1 << 62
+
+// streamHintInvalidateAfter is the number of consecutive RTO expirations
+// after which a tunnel stream concludes its cached hop addresses are
+// poisoned and invalidates them all (the exhaust-time path of PR 4).
+const streamHintInvalidateAfter = 3
+
+// recvWindowCap bounds the receive-side reorder buffer: segments more
+// than this far ahead of the in-order cursor are dropped (the sender
+// retransmits them once the window slides). Four times the default send
+// window keeps the drop path unreachable for well-behaved senders.
+const recvWindowCap = 256
+
+// StreamConfig tunes one windowed stream. The zero value gets defaults.
+type StreamConfig struct {
+	// Window is the maximum number of unacknowledged segments in flight.
+	// Default 32.
+	Window int
+	// SegSize is the payload capacity of one segment. Default 1024.
+	SegSize int
+	// MaxRetries bounds per-segment retransmissions before the stream
+	// fails. Default 12.
+	MaxRetries int
+	// DupAckThreshold is the number of duplicate cumulative ACKs that
+	// triggers a fast retransmit of the oldest unacknowledged segment.
+	// Default 3.
+	DupAckThreshold int
+	// InitRTO is the retransmit timeout before the first RTT sample.
+	// Default 1s — generous, because a tunnel round trip spans many
+	// store-and-forward hops; the estimator converges after one ACK.
+	InitRTO simnet.Time
+	// MinRTO floors the estimated timeout. Default 20ms.
+	MinRTO simnet.Time
+	// MaxRTO caps exponential backoff. Default 30s.
+	MaxRTO simnet.Time
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if c.SegSize == 0 {
+		c.SegSize = 1024
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 12
+	}
+	if c.DupAckThreshold == 0 {
+		c.DupAckThreshold = 3
+	}
+	if c.InitRTO == 0 {
+		c.InitRTO = time.Second
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 20 * time.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 30 * time.Second
+	}
+	return c
+}
+
+// rttEstimator is the RFC 6298 smoothed round-trip estimator: SRTT and
+// RTTVAR with gains 1/8 and 1/4, RTO = SRTT + 4·RTTVAR. Callers apply
+// Karn's rule by never feeding samples from retransmitted segments.
+type rttEstimator struct {
+	srtt   simnet.Time
+	rttvar simnet.Time
+	valid  bool
+}
+
+func (r *rttEstimator) observe(sample simnet.Time) {
+	if !r.valid {
+		r.srtt = sample
+		r.rttvar = sample / 2
+		r.valid = true
+		return
+	}
+	d := r.srtt - sample
+	if d < 0 {
+		d = -d
+	}
+	r.rttvar += (d - r.rttvar) / 4
+	r.srtt += (sample - r.srtt) / 8
+}
+
+func (r *rttEstimator) rto(cfg *StreamConfig) simnet.Time {
+	if !r.valid {
+		return cfg.InitRTO
+	}
+	rto := r.srtt + 4*r.rttvar
+	if rto < cfg.MinRTO {
+		rto = cfg.MinRTO
+	}
+	if rto > cfg.MaxRTO {
+		rto = cfg.MaxRTO
+	}
+	return rto
+}
+
+// sendSlot is one ring-buffer entry of the send window.
+type sendSlot struct {
+	seq    uint64
+	buf    []byte // pooled payload storage; nil for the bare FIN segment
+	n      int
+	fin    bool
+	sentAt simnet.Time
+	rtx    int  // retransmissions so far; >0 disables RTT sampling (Karn)
+	sacked bool // selectively acknowledged, never retransmitted
+	used   bool
+}
+
+// Stream is the sender side of one windowed stream. Open with
+// NetEngine.OpenStream (direct mode) or OpenTunnelStream (segments sealed
+// over a forward tunnel); then Write until accepted bytes fall short (the
+// window is full — install OnWritable to resume), and Close to flush the
+// FIN. A Stream belongs to the simulation's event loop goroutine.
+type Stream struct {
+	eng    *NetEngine
+	id     uint64
+	origin simnet.Addr
+	dest   id.ID
+	cfg    StreamConfig
+
+	// Direct mode: an optional address hint for the destination owner.
+	destHint simnet.Addr
+	// Tunnel mode: segments are sealed over tun with cache's hints.
+	tun       *Tunnel
+	cache     *HintCache
+	hopIDs    []id.ID
+	tunKey    id.ID // first hop id: the per-tunnel backoff memory key
+	hasTunKey bool
+
+	ring   []sendSlot
+	sndUna uint64 // oldest unacknowledged sequence number
+	sndNxt uint64 // next sequence number to assign
+
+	finSeq    uint64
+	finSet    bool
+	finWanted bool
+	closed    bool
+	done      bool
+	failed    bool
+	failWhy   string
+
+	rtt          rttEstimator
+	rto          simnet.Time
+	backoffCount int // consecutive RTO expirations (reset on progress)
+	dupAcks      int
+
+	// Retransmit timer: one preallocated closure, re-armed through the
+	// kernel. rtxDeadline is when the head segment times out (0 = no
+	// segment outstanding); timerAt is when the scheduled event fires
+	// (0 = none scheduled). A stale event re-arms itself for the
+	// remainder instead of acting.
+	rtxDeadline simnet.Time
+	timerAt     simnet.Time
+	timerFn     func()
+
+	wrote       uint64
+	maxInflight int
+
+	// OnWritable fires when window space frees after a Write returned
+	// short. OnComplete fires once: true when every segment including the
+	// FIN is acknowledged, false when the stream failed.
+	OnWritable func()
+	OnComplete func(ok bool)
+
+	// Per-stream counters.
+	SegsSent uint64
+	SegsRetx uint64
+}
+
+// closedStreamRec remembers a finished incoming stream so late duplicate
+// segments are re-ACKed rather than re-delivered.
+type closedStreamRec struct {
+	ackTo simnet.Addr
+	cum   uint64
+}
+
+// OpenStream opens a direct windowed stream from origin to the owner of
+// dest, optionally hinting the owner's address (NoAddr for pure DHT
+// routing).
+func (e *NetEngine) OpenStream(origin simnet.Addr, dest id.ID, hint simnet.Addr, cfg StreamConfig) *Stream {
+	return e.openStream(origin, dest, hint, nil, nil, cfg)
+}
+
+// OpenTunnelStream opens a windowed stream whose segments each ride the
+// owner's forward tunnel as sealed envelopes, exiting toward the owner of
+// dest. Retransmissions re-seal and re-resolve hints, so a segment lost
+// to a hop crash is re-driven through whichever replica now holds the
+// anchor.
+func (e *NetEngine) OpenTunnelStream(origin simnet.Addr, tun *Tunnel, cache *HintCache, dest id.ID, cfg StreamConfig) *Stream {
+	return e.openStream(origin, dest, simnet.NoAddr, tun, cache, cfg)
+}
+
+func (e *NetEngine) openStream(origin simnet.Addr, dest id.ID, hint simnet.Addr, tun *Tunnel, cache *HintCache, cfg StreamConfig) *Stream {
+	cfg = cfg.withDefaults()
+	e.nextStream++
+	s := &Stream{
+		eng:      e,
+		id:       streamIDBase + e.nextStream,
+		origin:   origin,
+		dest:     dest,
+		destHint: hint,
+		tun:      tun,
+		cache:    cache,
+		cfg:      cfg,
+		rto:      cfg.InitRTO,
+	}
+	ringSize := cfg.Window
+	if e.StreamWindowBypass {
+		ringSize *= 4
+	}
+	s.ring = make([]sendSlot, ringSize)
+	if tun != nil {
+		s.hopIDs = tun.HopIDs()
+		s.tunKey = tun.Hops[0].HopID
+		s.hasTunKey = true
+		// Per-tunnel backoff memory: a stream over a tunnel that recently
+		// proved lossy inherits the backed-off timeout instead of
+		// resetting it and hammering the same loss.
+		if stored := e.tunnelRTO[s.tunKey]; stored > s.rto {
+			s.rto = stored
+		}
+	}
+	s.timerFn = s.onTimerEvent
+	e.sendStreams[s.id] = s
+	return s
+}
+
+// ID returns the stream id, shared with the receive side.
+func (s *Stream) ID() uint64 { return s.id }
+
+// Done reports whether every segment including the FIN was acknowledged.
+func (s *Stream) Done() bool { return s.done }
+
+// Failed reports stream failure and its reason.
+func (s *Stream) Failed() (bool, string) { return s.failed, s.failWhy }
+
+// BytesWritten returns the payload bytes accepted so far.
+func (s *Stream) BytesWritten() uint64 { return s.wrote }
+
+// ConfiguredWindow returns the window limit the stream was opened with.
+func (s *Stream) ConfiguredWindow() int { return s.cfg.Window }
+
+// MaxInflightSegs returns the peak number of simultaneously
+// unacknowledged segments — the window-conservation observable.
+func (s *Stream) MaxInflightSegs() int { return s.maxInflight }
+
+func (s *Stream) slot(seq uint64) *sendSlot {
+	return &s.ring[seq%uint64(len(s.ring))]
+}
+
+func (s *Stream) inflight() int { return int(s.sndNxt - s.sndUna) }
+
+// canAccept reports whether the window has room for another segment.
+func (s *Stream) canAccept() bool {
+	if s.closed || s.done || s.failed {
+		return false
+	}
+	return s.inflight() < len(s.ring)
+}
+
+// Write queues as much of p as the window allows, slicing it into
+// segments, and returns the number of bytes accepted. A short return
+// means the window is full: install OnWritable and resume there.
+func (s *Stream) Write(p []byte) int {
+	accepted := 0
+	for len(p) > 0 && s.canAccept() {
+		n := len(p)
+		if n > s.cfg.SegSize {
+			n = s.cfg.SegSize
+		}
+		sl := s.claim()
+		sl.buf = s.eng.getSegBuf(s.cfg.SegSize)
+		sl.n = copy(sl.buf[:n], p[:n])
+		p = p[n:]
+		accepted += n
+		s.wrote += uint64(n)
+		s.transmit(sl)
+	}
+	return accepted
+}
+
+// Close marks the stream finished: a FIN segment is sent as soon as the
+// window allows, and OnComplete fires once it (and everything before it)
+// is acknowledged.
+func (s *Stream) Close() {
+	if s.closed || s.done || s.failed {
+		return
+	}
+	s.closed = true
+	s.finWanted = true
+	s.tryFin()
+}
+
+// claim assigns the next sequence number to a ring slot.
+func (s *Stream) claim() *sendSlot {
+	sl := s.slot(s.sndNxt)
+	*sl = sendSlot{seq: s.sndNxt, used: true}
+	s.sndNxt++
+	if fl := s.inflight(); fl > s.maxInflight {
+		s.maxInflight = fl
+	}
+	return sl
+}
+
+// tryFin emits the FIN segment once window space allows.
+func (s *Stream) tryFin() {
+	if !s.finWanted || s.finSet || s.failed || s.inflight() >= len(s.ring) {
+		return
+	}
+	sl := s.claim()
+	sl.fin = true
+	s.finSet = true
+	s.finSeq = sl.seq
+	s.transmit(sl)
+}
+
+// transmit sends a freshly claimed segment.
+func (s *Stream) transmit(sl *sendSlot) {
+	s.SegsSent++
+	s.eng.StreamSegsSent++
+	s.sendSegment(sl)
+	if s.rtxDeadline == 0 {
+		s.rtxDeadline = s.eng.net.Now() + s.rto
+		s.schedTimer(s.rtxDeadline)
+	}
+}
+
+// retransmit re-sends a segment (timeout or fast retransmit).
+func (s *Stream) retransmit(sl *sendSlot) {
+	sl.rtx++
+	s.SegsRetx++
+	s.eng.StreamSegsRetx++
+	s.sendSegment(sl)
+}
+
+// sendSegment puts one copy of the segment on the wire in the stream's
+// transport mode.
+func (s *Stream) sendSegment(sl *sendSlot) {
+	e := s.eng
+	sl.sentAt = e.net.Now()
+	if s.tun == nil {
+		p := e.getPacket()
+		p.kind = kindStream
+		p.flow = s.id
+		p.target = s.dest
+		p.seq = sl.seq
+		p.fin = sl.fin
+		p.data = sl.buf[:sl.n]
+		p.ackTo = s.origin
+		e.dispatch(s.origin, p, s.destHint)
+		return
+	}
+	// Tunnel mode: seal the framed segment as a forward envelope. Each
+	// (re)transmission re-resolves hints through the cache, preserving
+	// the §6 failover semantics of the reliability layer.
+	w := wire.NewWriter(wire.StreamSegmentOverhead + sl.n)
+	wire.AppendStreamSegment(w, s.id, sl.seq, sl.fin, int64(s.origin), sl.buf[:sl.n])
+	env, err := BuildForwardWithCache(s.tun, s.cache, s.dest, w.Bytes(), e.svc.Stream)
+	if err != nil {
+		s.fail(fmt.Sprintf("sealing segment %d: %v", sl.seq, err))
+		return
+	}
+	p := e.getPacket()
+	p.kind = kindForward
+	p.flow = s.id
+	p.target = env.HopID
+	p.env = env
+	p.ackTo = s.origin
+	e.dispatch(s.origin, p, env.Hint)
+}
+
+// schedTimer ensures a timer event exists at or before `at`.
+func (s *Stream) schedTimer(at simnet.Time) {
+	if s.timerAt != 0 && s.timerAt <= at {
+		return // the pending event fires early enough; it will re-arm
+	}
+	s.timerAt = at
+	s.eng.net.Kernel.Schedule(at-s.eng.net.Now(), s.timerFn)
+}
+
+// onTimerEvent is the single retransmit-timer callback.
+func (s *Stream) onTimerEvent() {
+	s.timerAt = 0
+	if s.done || s.failed || s.inflight() == 0 || s.rtxDeadline == 0 {
+		return
+	}
+	now := s.eng.net.Now()
+	if now < s.rtxDeadline {
+		// ACK progress pushed the deadline out; re-arm for the remainder.
+		s.schedTimer(s.rtxDeadline)
+		return
+	}
+	s.onTimeout(now)
+}
+
+// onTimeout handles one RTO expiration: exponential backoff, per-tunnel
+// backoff memory, repeated-expiry hint invalidation, and retransmission
+// of the oldest unacknowledged segment.
+func (s *Stream) onTimeout(now simnet.Time) {
+	head := s.slot(s.sndUna)
+	if !head.used {
+		return
+	}
+	if head.rtx >= s.cfg.MaxRetries {
+		s.fail(fmt.Sprintf("segment %d: retransmit budget exhausted after %d tries", head.seq, head.rtx+1))
+		return
+	}
+	s.eng.StreamTimeouts++
+	s.backoffCount++
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	if s.hasTunKey {
+		// Remember the backed-off timeout for this tunnel so new streams
+		// and flows over it start from reality, not from scratch.
+		s.eng.tunnelRTO[s.tunKey] = s.rto
+	}
+	if s.backoffCount == streamHintInvalidateAfter && s.tun != nil {
+		// Repeated expiry: stop trusting the cached hop addresses.
+		s.eng.invalidateTunnelHints(s.cache, s.hopIDs)
+	}
+	s.retransmit(head)
+	s.rtxDeadline = now + s.rto
+	s.schedTimer(s.rtxDeadline)
+}
+
+// handleAck applies one cumulative+SACK acknowledgment.
+func (s *Stream) handleAck(cum uint64, ranges []wire.AckRange) {
+	if s.done || s.failed || cum > s.sndNxt {
+		return
+	}
+	now := s.eng.net.Now()
+	if cum > s.sndUna {
+		for seq := s.sndUna; seq < cum; seq++ {
+			sl := s.slot(seq)
+			if !sl.used {
+				continue
+			}
+			if sl.rtx == 0 && !sl.sacked {
+				s.rtt.observe(now - sl.sentAt)
+			}
+			s.release(sl)
+		}
+		s.sndUna = cum
+		s.dupAcks = 0
+		s.backoffCount = 0
+		s.rto = s.rtt.rto(&s.cfg)
+		if s.inflight() > 0 {
+			s.rtxDeadline = now + s.rto
+			s.schedTimer(s.rtxDeadline)
+		} else {
+			s.rtxDeadline = 0
+		}
+	} else if cum == s.sndUna && s.inflight() > 0 {
+		s.dupAcks++
+		if s.dupAcks >= s.cfg.DupAckThreshold {
+			s.dupAcks = 0
+			head := s.slot(s.sndUna)
+			if head.used && !head.sacked {
+				s.eng.StreamFastRetx++
+				s.retransmit(head)
+				s.rtxDeadline = now + s.rto
+				s.schedTimer(s.rtxDeadline)
+			}
+		}
+	}
+	for _, r := range ranges {
+		lo, hi := r.Start, r.End
+		if lo < s.sndUna {
+			lo = s.sndUna
+		}
+		if hi > s.sndNxt {
+			hi = s.sndNxt
+		}
+		for seq := lo; seq < hi; seq++ {
+			sl := s.slot(seq)
+			if sl.used && !sl.sacked {
+				sl.sacked = true
+				if sl.rtx == 0 {
+					s.rtt.observe(now - sl.sentAt)
+				}
+			}
+		}
+	}
+	if s.finSet && s.sndUna > s.finSeq {
+		s.complete()
+		return
+	}
+	s.tryFin()
+	if !s.closed && s.OnWritable != nil && s.canAccept() {
+		s.OnWritable()
+	}
+}
+
+// release returns a slot's payload buffer to the pool.
+func (s *Stream) release(sl *sendSlot) {
+	if sl.buf != nil {
+		s.eng.putSegBuf(sl.buf)
+	}
+	*sl = sendSlot{}
+}
+
+// complete finishes a fully acknowledged stream.
+func (s *Stream) complete() {
+	s.done = true
+	delete(s.eng.sendStreams, s.id)
+	if s.hasTunKey && s.SegsRetx == 0 {
+		// A clean run over this tunnel: drop the backoff memory.
+		delete(s.eng.tunnelRTO, s.tunKey)
+	}
+	if s.OnComplete != nil {
+		s.OnComplete(true)
+	}
+}
+
+// fail abandons the stream.
+func (s *Stream) fail(why string) {
+	if s.failed || s.done {
+		return
+	}
+	s.failed = true
+	s.failWhy = why
+	for seq := s.sndUna; seq < s.sndNxt; seq++ {
+		if sl := s.slot(seq); sl.used {
+			s.release(sl)
+		}
+	}
+	delete(s.eng.sendStreams, s.id)
+	if s.tun != nil {
+		// The tunnel is presumed dead, exactly like reliable-flow
+		// exhaustion: evict every hop's cached address.
+		s.eng.invalidateTunnelHints(s.cache, s.hopIDs)
+	}
+	if s.OnComplete != nil {
+		s.OnComplete(false)
+	}
+}
+
+// --- receive side -----------------------------------------------------------
+
+// recvSlot buffers one out-of-order segment. data aliases the arriving
+// packet's payload; see the packet.data lifetime note.
+type recvSlot struct {
+	seq  uint64
+	data []byte
+	fin  bool
+	used bool
+}
+
+// RecvStream is the receiver side of one windowed stream, created by the
+// engine when the first segment arrives and announced through
+// NetEngine.OnStream. OnData receives the payload strictly in order,
+// exactly once; the slice is valid only during the callback.
+type RecvStream struct {
+	eng   *NetEngine
+	id    uint64
+	dest  id.ID
+	ackTo simnet.Addr
+
+	ring   []recvSlot
+	rcvNxt uint64 // next in-order sequence number expected
+	maxSeq uint64 // highest seq+1 received (SACK scan bound)
+
+	finSeq uint64
+	finSet bool
+	closed bool
+
+	bytes uint64
+	segs  uint64
+
+	OnData  func(seq uint64, data []byte)
+	OnClose func(rs *RecvStream)
+}
+
+// ID returns the stream id, shared with the sender.
+func (rs *RecvStream) ID() uint64 { return rs.id }
+
+// Dest returns the destination id the stream was addressed to.
+func (rs *RecvStream) Dest() id.ID { return rs.dest }
+
+// Bytes returns the in-order payload bytes delivered so far.
+func (rs *RecvStream) Bytes() uint64 { return rs.bytes }
+
+// Closed reports whether the FIN was delivered in order.
+func (rs *RecvStream) Closed() bool { return rs.closed }
+
+// handleStreamData consumes a kindStream packet at the target id's owner.
+func (e *NetEngine) handleStreamData(self simnet.Addr, p *packet) {
+	sid := p.flow
+	rs := e.recvStreams[sid]
+	if rs == nil {
+		if rec, ok := e.closedStreams[sid]; ok {
+			// Late duplicate of a finished stream: the final ACK may have
+			// been lost, so re-ACK — but never re-deliver.
+			e.StreamDupSegs++
+			e.sendStreamAck(self, sid, rec.ackTo, rec.cum)
+			e.putPacket(p)
+			return
+		}
+		rs = &RecvStream{eng: e, id: sid, dest: p.target, ackTo: p.ackTo}
+		e.recvStreams[sid] = rs
+		if e.OnStream != nil {
+			e.OnStream(rs)
+		}
+	}
+	rs.accept(self, p.seq, p.fin, p.data)
+	e.putPacket(p)
+}
+
+// accept runs the receive-side protocol for one arriving segment.
+func (rs *RecvStream) accept(self simnet.Addr, seq uint64, fin bool, data []byte) {
+	e := rs.eng
+	if e.StreamReorderBypass {
+		// Sabotaged receiver: hand segments over in arrival order with no
+		// reorder buffer and no dedup. Exists only so the simulation
+		// checker can prove the in-order invariant catches it.
+		rs.deliverSeg(seq, fin, data)
+		if seq+1 > rs.rcvNxt {
+			rs.rcvNxt = seq + 1
+		}
+		if rs.finSet && rs.rcvNxt > rs.finSeq {
+			rs.close(self)
+			return
+		}
+		rs.sendAck(self)
+		return
+	}
+	switch {
+	case seq < rs.rcvNxt:
+		e.StreamDupSegs++
+	case seq == rs.rcvNxt:
+		rs.deliverSeg(seq, fin, data)
+		rs.rcvNxt++
+		if seq+1 > rs.maxSeq {
+			rs.maxSeq = seq + 1
+		}
+		rs.drain()
+	default:
+		if rs.buffer(seq, fin, data) && seq+1 > rs.maxSeq {
+			rs.maxSeq = seq + 1
+		}
+	}
+	if rs.finSet && rs.rcvNxt > rs.finSeq {
+		rs.close(self)
+		return
+	}
+	rs.sendAck(self)
+}
+
+// deliverSeg hands one segment to the application.
+func (rs *RecvStream) deliverSeg(seq uint64, fin bool, data []byte) {
+	rs.segs++
+	rs.bytes += uint64(len(data))
+	rs.eng.StreamBytesRecv += uint64(len(data))
+	if fin {
+		rs.finSet = true
+		rs.finSeq = seq
+	}
+	if rs.OnData != nil && len(data) > 0 {
+		rs.OnData(seq, data)
+	}
+}
+
+// drain delivers buffered segments that became in-order.
+func (rs *RecvStream) drain() {
+	for len(rs.ring) > 0 {
+		sl := &rs.ring[rs.rcvNxt%uint64(len(rs.ring))]
+		if !sl.used || sl.seq != rs.rcvNxt {
+			return
+		}
+		data, fin := sl.data, sl.fin
+		*sl = recvSlot{}
+		rs.deliverSeg(rs.rcvNxt, fin, data)
+		rs.rcvNxt++
+	}
+}
+
+// buffer stores an out-of-order segment in the reorder ring, growing it
+// up to recvWindowCap. Reports whether the segment was kept.
+func (rs *RecvStream) buffer(seq uint64, fin bool, data []byte) bool {
+	span := seq - rs.rcvNxt + 1
+	if span > recvWindowCap {
+		// Too far ahead: drop, the sender's window will bring it back.
+		rs.eng.StreamSegsLost++
+		return false
+	}
+	if uint64(len(rs.ring)) < span {
+		rs.growRing(span)
+	}
+	sl := &rs.ring[seq%uint64(len(rs.ring))]
+	if sl.used {
+		// Same seq twice out of order; distinct seqs cannot collide
+		// because the ring always spans the full receive window.
+		rs.eng.StreamDupSegs++
+		return false
+	}
+	*sl = recvSlot{seq: seq, data: data, fin: fin, used: true}
+	return true
+}
+
+// growRing doubles the reorder ring until it spans at least minSpan,
+// re-placing buffered segments at their new positions. Rings start small
+// and grow on demand so a million mostly-in-order streams pay nothing.
+func (rs *RecvStream) growRing(minSpan uint64) {
+	size := uint64(8)
+	for size < minSpan {
+		size *= 2
+	}
+	next := make([]recvSlot, size)
+	for i := range rs.ring {
+		if sl := &rs.ring[i]; sl.used {
+			next[sl.seq%size] = *sl
+		}
+	}
+	rs.ring = next
+}
+
+// sendAck transmits a cumulative+SACK acknowledgment to the sender.
+func (rs *RecvStream) sendAck(self simnet.Addr) {
+	e := rs.eng
+	p := e.getPacket()
+	p.kind = kindStreamAck
+	p.flow = rs.id
+	p.cum = rs.rcvNxt
+	// Collect the buffered runs above the cumulative point, nearest
+	// first, bounded by the frame's range capacity.
+	if rs.maxSeq > rs.rcvNxt && len(rs.ring) > 0 {
+		n := uint64(len(rs.ring))
+		open := false
+		var cur wire.AckRange
+		for seq := rs.rcvNxt; seq < rs.maxSeq; seq++ {
+			sl := &rs.ring[seq%n]
+			if sl.used && sl.seq == seq {
+				if open && cur.End == seq {
+					cur.End++
+					continue
+				}
+				if open {
+					if len(p.ranges) == wire.MaxAckRanges {
+						break
+					}
+					p.ranges = append(p.ranges, cur)
+				}
+				cur = wire.AckRange{Start: seq, End: seq + 1}
+				open = true
+			}
+		}
+		if open && len(p.ranges) < wire.MaxAckRanges {
+			p.ranges = append(p.ranges, cur)
+		}
+	}
+	e.StreamAcksSent++
+	e.send(self, rs.ackTo, p)
+}
+
+// sendStreamAck emits a bare cumulative ACK (closed-stream re-ACK path).
+func (e *NetEngine) sendStreamAck(self simnet.Addr, sid uint64, to simnet.Addr, cum uint64) {
+	p := e.getPacket()
+	p.kind = kindStreamAck
+	p.flow = sid
+	p.cum = cum
+	e.StreamAcksSent++
+	e.send(self, to, p)
+}
+
+// close finishes the incoming stream: the FIN arrived in order.
+func (rs *RecvStream) close(self simnet.Addr) {
+	rs.closed = true
+	rs.ring = nil
+	delete(rs.eng.recvStreams, rs.id)
+	rs.eng.closedStreams[rs.id] = closedStreamRec{ackTo: rs.ackTo, cum: rs.rcvNxt}
+	rs.sendAck(self)
+	if rs.OnClose != nil {
+		rs.OnClose(rs)
+	}
+}
+
+// handleStreamAck applies an arriving acknowledgment at the sender.
+func (e *NetEngine) handleStreamAck(p *packet) {
+	if s, ok := e.sendStreams[p.flow]; ok {
+		s.handleAck(p.cum, p.ranges)
+	}
+	e.putPacket(p)
+}
+
+// --- freelists --------------------------------------------------------------
+
+// getPacket takes a packet from the freelist. The event loop is
+// single-threaded, so a plain slice suffices; steady-state stream traffic
+// allocates no packets.
+func (e *NetEngine) getPacket() *packet {
+	if n := len(e.pktFree); n > 0 {
+		p := e.pktFree[n-1]
+		e.pktFree = e.pktFree[:n-1]
+		return p
+	}
+	return &packet{ranges: make([]wire.AckRange, 0, wire.MaxAckRanges)}
+}
+
+// putPacket recycles a consumed packet, keeping its range storage.
+func (e *NetEngine) putPacket(p *packet) {
+	r := p.ranges[:0]
+	*p = packet{}
+	p.ranges = r
+	e.pktFree = append(e.pktFree, p)
+}
+
+// getSegBuf takes a payload buffer of exactly the given size from the
+// per-size pool.
+func (e *NetEngine) getSegBuf(size int) []byte {
+	pool := e.segPools[size]
+	if n := len(pool); n > 0 {
+		b := pool[n-1]
+		e.segPools[size] = pool[:n-1]
+		return b
+	}
+	return make([]byte, size)
+}
+
+// putSegBuf returns a buffer to its size pool.
+func (e *NetEngine) putSegBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	e.segPools[cap(b)] = append(e.segPools[cap(b)], b)
+}

@@ -1,0 +1,564 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"tap/internal/id"
+	"tap/internal/simnet"
+)
+
+// fixedLink gives every distinct pair of nodes the same one-way latency
+// and no serialization delay, so protocol timing assertions are exact.
+func fixedLink(oneWay time.Duration) simnet.LinkModel {
+	return simnet.LinkModel{MinLatency: oneWay, MaxLatency: oneWay, Seed: 1}
+}
+
+// patternData builds a deterministic payload whose bytes encode their own
+// offset, so any reordering or duplication corrupts the comparison.
+func patternData(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	return data
+}
+
+// streamSink collects one engine's incoming streams for assertions.
+type streamSink struct {
+	buf    []byte
+	seqs   []uint64
+	closes int
+}
+
+func (c *streamSink) install(e *NetEngine) {
+	e.OnStream = func(rs *RecvStream) {
+		rs.OnData = func(seq uint64, b []byte) {
+			c.buf = append(c.buf, b...)
+			c.seqs = append(c.seqs, seq)
+		}
+		rs.OnClose = func(*RecvStream) { c.closes++ }
+	}
+}
+
+func (c *streamSink) assertOrdered(t *testing.T) {
+	t.Helper()
+	for i := 1; i < len(c.seqs); i++ {
+		if c.seqs[i] <= c.seqs[i-1] {
+			t.Fatalf("segments delivered out of order: seq %d after %d", c.seqs[i], c.seqs[i-1])
+		}
+	}
+}
+
+// pumpStream writes data through the window, resuming on OnWritable when
+// a Write comes up short, and closes once everything is accepted.
+func pumpStream(s *Stream, data []byte) {
+	off := 0
+	var step func()
+	step = func() {
+		for off < len(data) {
+			want := len(data) - off
+			n := s.Write(data[off:])
+			off += n
+			if n < want {
+				return // window full; OnWritable resumes
+			}
+		}
+		s.Close()
+	}
+	s.OnWritable = step
+	step()
+}
+
+func TestStreamDirectTransfer(t *testing.T) {
+	ns := newNetSys(t, 200, 3, 31)
+	src := ns.ov.RandomLive(ns.root.Split("src"))
+	dst := ns.ov.RandomLive(ns.root.Split("dst"))
+	if src.Ref().Addr == dst.Ref().Addr {
+		t.Fatal("src and dst collided; pick another seed")
+	}
+	sink := &streamSink{}
+	sink.install(ns.eng)
+
+	data := patternData(100_000)
+	s := ns.eng.OpenStream(src.Ref().Addr, dst.ID(), dst.Ref().Addr, StreamConfig{})
+	completed, ok := false, false
+	s.OnComplete = func(o bool) { completed, ok = true, o }
+	pumpStream(s, data)
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !completed || !ok {
+		why := ""
+		if f, w := s.Failed(); f {
+			why = w
+		}
+		t.Fatalf("stream did not complete cleanly: completed=%v ok=%v (%s)", completed, ok, why)
+	}
+	if !bytes.Equal(sink.buf, data) {
+		t.Fatalf("received %d bytes, want %d byte-identical", len(sink.buf), len(data))
+	}
+	sink.assertOrdered(t)
+	if sink.closes != 1 {
+		t.Fatalf("OnClose fired %d times, want exactly once", sink.closes)
+	}
+	if got, want := s.MaxInflightSegs(), s.ConfiguredWindow(); got > want {
+		t.Fatalf("window violated: %d segments in flight, configured %d", got, want)
+	}
+	if ns.eng.StreamSegsRetx != 0 {
+		t.Fatalf("lossless transfer retransmitted %d segments", ns.eng.StreamSegsRetx)
+	}
+	if s.BytesWritten() != uint64(len(data)) {
+		t.Fatalf("BytesWritten = %d, want %d", s.BytesWritten(), len(data))
+	}
+}
+
+func TestStreamLossAndReorderExactlyOnce(t *testing.T) {
+	ns := newNetSys(t, 200, 3, 32)
+	src := ns.ov.RandomLive(ns.root.Split("src"))
+	dst := ns.ov.RandomLive(ns.root.Split("dst"))
+	if src.Ref().Addr == dst.Ref().Addr {
+		t.Fatal("src and dst collided; pick another seed")
+	}
+	ns.net.InstallFaults(&simnet.FaultPlan{Seed: 9, LossRate: 0.1})
+	// Deterministic reordering: every third-ish message is held back long
+	// enough to arrive behind its successors.
+	ns.net.ExtraDelay = func(srcA, dstA simnet.Addr, msg simnet.Message) simnet.Time {
+		if (uint64(srcA)+uint64(dstA)+uint64(msg.SizeBytes()))%3 == 0 {
+			return simnet.Time(90 * time.Millisecond)
+		}
+		return 0
+	}
+	sink := &streamSink{}
+	sink.install(ns.eng)
+
+	data := patternData(64_000)
+	s := ns.eng.OpenStream(src.Ref().Addr, dst.ID(), dst.Ref().Addr, StreamConfig{Window: 16})
+	var okDone bool
+	s.OnComplete = func(o bool) { okDone = o }
+	pumpStream(s, data)
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !okDone {
+		_, why := s.Failed()
+		t.Fatalf("stream failed under loss: %s", why)
+	}
+	if !bytes.Equal(sink.buf, data) {
+		t.Fatalf("received %d bytes, want %d byte-identical despite loss+reorder", len(sink.buf), len(data))
+	}
+	sink.assertOrdered(t)
+	if sink.closes != 1 {
+		t.Fatalf("OnClose fired %d times, want exactly once", sink.closes)
+	}
+	if ns.eng.StreamSegsRetx == 0 {
+		t.Fatal("10% loss produced zero retransmissions; faults not applied?")
+	}
+	if got, want := s.MaxInflightSegs(), s.ConfiguredWindow(); got > want {
+		t.Fatalf("window violated under loss: %d in flight, configured %d", got, want)
+	}
+}
+
+func TestStreamTunnelTransfer(t *testing.T) {
+	ns := newNetSys(t, 400, 3, 33)
+	in := ns.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewHintCache()
+	if err := cache.Refresh(ns.svc, tun); err != nil {
+		t.Fatal(err)
+	}
+	ns.net.InstallFaults(&simnet.FaultPlan{Seed: 5, LossRate: 0.05})
+	sink := &streamSink{}
+	sink.install(ns.eng)
+
+	data := patternData(32_000)
+	dest := id.HashString("streamed-file")
+	s := ns.eng.OpenTunnelStream(in.Node().Ref().Addr, tun, cache, dest, StreamConfig{Window: 8})
+	var okDone bool
+	s.OnComplete = func(o bool) { okDone = o }
+	pumpStream(s, data)
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !okDone {
+		_, why := s.Failed()
+		t.Fatalf("tunnel stream failed: %s", why)
+	}
+	if !bytes.Equal(sink.buf, data) {
+		t.Fatalf("received %d bytes over tunnel, want %d byte-identical", len(sink.buf), len(data))
+	}
+	sink.assertOrdered(t)
+	if sink.closes != 1 {
+		t.Fatalf("OnClose fired %d times, want exactly once", sink.closes)
+	}
+}
+
+func TestStreamBackpressure(t *testing.T) {
+	ns := newNetSys(t, 100, 3, 34)
+	src := ns.ov.RandomLive(ns.root.Split("src"))
+	dst := ns.ov.RandomLive(ns.root.Split("dst"))
+	if src.Ref().Addr == dst.Ref().Addr {
+		t.Fatal("src and dst collided; pick another seed")
+	}
+	sink := &streamSink{}
+	sink.install(ns.eng)
+
+	cfg := StreamConfig{Window: 4, SegSize: 1024}
+	data := patternData(64 * 1024)
+	s := ns.eng.OpenStream(src.Ref().Addr, dst.ID(), dst.Ref().Addr, cfg)
+	// A single huge write must stop at exactly one window of segments.
+	if n := s.Write(data); n != cfg.Window*cfg.SegSize {
+		t.Fatalf("first write accepted %d bytes, want %d (window*segsize)", n, cfg.Window*cfg.SegSize)
+	}
+	if n := s.Write(data); n != 0 {
+		t.Fatalf("write into a full window accepted %d bytes", n)
+	}
+	// Resume through OnWritable until everything is through.
+	off := cfg.Window * cfg.SegSize
+	s.OnWritable = func() {
+		for off < len(data) {
+			want := len(data) - off
+			n := s.Write(data[off:])
+			off += n
+			if n < want {
+				return
+			}
+		}
+		s.Close()
+	}
+	var okDone bool
+	s.OnComplete = func(o bool) { okDone = o }
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !okDone {
+		t.Fatal("backpressured stream did not complete")
+	}
+	if !bytes.Equal(sink.buf, data) {
+		t.Fatalf("received %d bytes, want %d byte-identical", len(sink.buf), len(data))
+	}
+	if got, want := s.MaxInflightSegs(), cfg.Window; got > want {
+		t.Fatalf("window violated: %d in flight, configured %d", got, want)
+	}
+}
+
+func TestStreamWindowBypassSeam(t *testing.T) {
+	// The checker-only sabotage seam must produce an observable window
+	// violation, or the window-conservation invariant can never fire.
+	ns := newNetSys(t, 100, 3, 35)
+	src := ns.ov.RandomLive(ns.root.Split("src"))
+	dst := ns.ov.RandomLive(ns.root.Split("dst"))
+	ns.eng.StreamWindowBypass = true
+	sink := &streamSink{}
+	sink.install(ns.eng)
+
+	cfg := StreamConfig{Window: 4, SegSize: 512}
+	data := patternData(32 * 1024)
+	s := ns.eng.OpenStream(src.Ref().Addr, dst.ID(), dst.Ref().Addr, cfg)
+	pumpStream(s, data)
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxInflightSegs() <= s.ConfiguredWindow() {
+		t.Fatalf("bypass seam kept %d in flight within configured window %d; seam is invisible",
+			s.MaxInflightSegs(), s.ConfiguredWindow())
+	}
+}
+
+func TestStreamRTTEstimator(t *testing.T) {
+	cfg := StreamConfig{}.withDefaults()
+	var est rttEstimator
+	if est.rto(&cfg) != cfg.InitRTO {
+		t.Fatal("estimator without samples must return InitRTO")
+	}
+	sample := simnet.Time(50 * time.Millisecond)
+	for i := 0; i < 40; i++ {
+		est.observe(sample)
+	}
+	if est.srtt != sample {
+		t.Fatalf("srtt converged to %v, want %v", est.srtt, sample)
+	}
+	// Constant samples decay RTTVAR toward zero, so RTO approaches SRTT
+	// (floored well above MinRTO here).
+	if got := est.rto(&cfg); got < sample || got > 2*sample {
+		t.Fatalf("rto = %v, want within [%v, %v]", got, sample, 2*sample)
+	}
+	// A spike inflates RTTVAR and thus RTO.
+	est.observe(simnet.Time(250 * time.Millisecond))
+	if got := est.rto(&cfg); got <= sample {
+		t.Fatalf("rto = %v after a spike, want above the base sample", got)
+	}
+	// And the floor holds for tiny samples.
+	var tiny rttEstimator
+	tiny.observe(simnet.Time(time.Microsecond))
+	if got := tiny.rto(&cfg); got != cfg.MinRTO {
+		t.Fatalf("rto = %v for microsecond RTT, want MinRTO %v", got, cfg.MinRTO)
+	}
+}
+
+// TestStreamGoodputVsStopAndWait is the headline acceptance number: at a
+// fixed 50ms tunnel-path RTT with 1% loss, the windowed protocol must move
+// the same payload at least 5x faster than stop-and-wait (window 1).
+func TestStreamGoodputVsStopAndWait(t *testing.T) {
+	run := func(window int) time.Duration {
+		ns := newNetSys(t, 100, 3, 36)
+		ns.net.Link = fixedLink(25 * time.Millisecond) // 50ms RTT
+		ns.net.InstallFaults(&simnet.FaultPlan{Seed: 7, LossRate: 0.01})
+		src := ns.ov.RandomLive(ns.root.Split("src"))
+		dst := ns.ov.RandomLive(ns.root.Split("dst"))
+		if src.Ref().Addr == dst.Ref().Addr {
+			t.Fatal("src and dst collided; pick another seed")
+		}
+		sink := &streamSink{}
+		sink.install(ns.eng)
+		data := patternData(128 * 1024)
+		s := ns.eng.OpenStream(src.Ref().Addr, dst.ID(), dst.Ref().Addr, StreamConfig{Window: window})
+		var doneAt simnet.Time
+		var okDone bool
+		s.OnComplete = func(o bool) { okDone, doneAt = o, ns.kernel.Now() }
+		pumpStream(s, data)
+		if err := ns.kernel.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !okDone {
+			_, why := s.Failed()
+			t.Fatalf("window=%d transfer failed: %s", window, why)
+		}
+		if !bytes.Equal(sink.buf, data) {
+			t.Fatalf("window=%d corrupted the payload", window)
+		}
+		return time.Duration(doneAt)
+	}
+
+	windowed := run(32)
+	stopWait := run(1)
+	ratio := float64(stopWait) / float64(windowed)
+	t.Logf("stop-and-wait %v, windowed %v, speedup %.1fx", stopWait, windowed, ratio)
+	if ratio < 5 {
+		t.Fatalf("windowed speedup %.2fx over stop-and-wait, want >= 5x", ratio)
+	}
+}
+
+// TestStreamSteadyStateZeroAlloc pins the hot-path allocation budget: after
+// a warmup transfer has populated the packet, segment, and kernel-event
+// pools, a long steady-state transfer must allocate (amortized) nothing
+// per segment.
+func TestStreamSteadyStateZeroAlloc(t *testing.T) {
+	ns := newNetSys(t, 100, 3, 37)
+	ns.net.Link = fixedLink(5 * time.Millisecond)
+	src := ns.ov.RandomLive(ns.root.Split("src"))
+	dst := ns.ov.RandomLive(ns.root.Split("dst"))
+	if src.Ref().Addr == dst.Ref().Addr {
+		t.Fatal("src and dst collided; pick another seed")
+	}
+	var sum uint64
+	ns.eng.OnStream = func(rs *RecvStream) {
+		rs.OnData = func(seq uint64, b []byte) {
+			for _, x := range b {
+				sum += uint64(x)
+			}
+		}
+	}
+	const segs = 2048
+	data := patternData(segs * 1024)
+
+	transfer := func() {
+		s := ns.eng.OpenStream(src.Ref().Addr, dst.ID(), dst.Ref().Addr, StreamConfig{})
+		pumpStream(s, data)
+		if err := ns.kernel.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Done() {
+			_, why := s.Failed()
+			t.Fatalf("transfer did not finish: %s", why)
+		}
+	}
+
+	transfer() // warm every pool
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	transfer()
+	runtime.ReadMemStats(&after)
+	mallocs := after.Mallocs - before.Mallocs
+	perSeg := float64(mallocs) / segs
+	t.Logf("steady-state transfer: %d mallocs over %d segments (%.3f/seg)", mallocs, segs, perSeg)
+	// Per-stream setup (the Stream, its ring, the receive state, map
+	// growth) is allowed; per-segment cost is not.
+	if perSeg > 0.05 {
+		t.Fatalf("steady-state send path allocates %.3f objects/segment, want ~0", perSeg)
+	}
+	_ = sum
+}
+
+// TestStreamTunnelBackoffMemory covers the per-tunnel retransmit-backoff
+// satellite for streams: a stream over a tunnel that just proved lossy
+// inherits the stored RTO; repeated timeouts grow the shared memory; a
+// clean run clears it.
+func TestStreamTunnelBackoffMemory(t *testing.T) {
+	ns := newNetSys(t, 400, 3, 38)
+	in := ns.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewHintCache()
+	if err := cache.Refresh(ns.svc, tun); err != nil {
+		t.Fatal(err)
+	}
+	key := tun.Hops[0].HopID
+	origin := in.Node().Ref().Addr
+	dest := id.HashString("backoff-file")
+
+	// Inheritance: a stored backoff beats the optimistic initial RTO.
+	stored := simnet.Time(5 * time.Second)
+	ns.eng.tunnelRTO[key] = stored
+	s := ns.eng.OpenTunnelStream(origin, tun, cache, dest, StreamConfig{})
+	if s.rto != stored {
+		t.Fatalf("stream started with rto %v, want inherited %v", s.rto, stored)
+	}
+
+	// A clean transfer (no loss, no retransmits) clears the memory.
+	sink := &streamSink{}
+	sink.install(ns.eng)
+	pumpStream(s, patternData(4096))
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		_, why := s.Failed()
+		t.Fatalf("clean transfer failed: %s", why)
+	}
+	if _, ok := ns.eng.tunnelRTO[key]; ok {
+		t.Fatal("clean run should drop the tunnel's backoff memory")
+	}
+
+	// Total loss: timeouts grow the shared memory while the stream backs
+	// off, and repeated expiry invalidates the cached hop hints well
+	// before the retry budget runs out.
+	ns.net.InstallFaults(&simnet.FaultPlan{Seed: 3, LossRate: 1})
+	s2 := ns.eng.OpenTunnelStream(origin, tun, cache, dest, StreamConfig{MaxRetries: 20})
+	pumpStream(s2, patternData(2048))
+	// InitRTO 1s doubling per expiry: backoffCount hits 3 (the hint
+	// eviction point) by t=7s. Check at 20s, long before 20 retries.
+	if err := ns.kernel.RunUntil(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := ns.eng.tunnelRTO[key]; got <= simnet.Time(time.Second) {
+		t.Fatalf("tunnelRTO after repeated timeouts = %v, want grown beyond InitRTO", got)
+	}
+	for _, hop := range tun.HopIDs() {
+		if a := cache.Get(hop); a != simnet.NoAddr {
+			t.Fatalf("hop %s hint still cached after repeated RTO expiry", hop.Short())
+		}
+	}
+	if done := s2.Done(); done {
+		t.Fatal("stream cannot have completed under total loss")
+	}
+
+	// A fresh stream over the same tunnel inherits the grown backoff.
+	s3 := ns.eng.OpenTunnelStream(origin, tun, cache, dest, StreamConfig{})
+	if s3.rto <= simnet.Time(time.Second) {
+		t.Fatalf("new stream started with rto %v, want inherited backed-off value", s3.rto)
+	}
+}
+
+// TestReliableFlowBackoffMemory covers the same satellite for PR-1 reliable
+// flows: backoff is remembered per tunnel across flows, decayed on a
+// retransmitted success, and dropped on a clean first-attempt delivery.
+func TestReliableFlowBackoffMemory(t *testing.T) {
+	ns := newNetSys(t, 400, 3, 39)
+	ns.eng.EnableReliability(Reliability{})
+	in := ns.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewHintCache()
+	if err := cache.Refresh(ns.svc, tun); err != nil {
+		t.Fatal(err)
+	}
+	key := tun.Hops[0].HopID
+	origin := in.Node().Ref().Addr
+	dest := id.HashString("flow-file")
+	opts := SendOpts{Cache: cache, Hops: tun.HopIDs()}
+
+	build := func(label string) *Envelope {
+		env, err := BuildForward(tun, hintsFor(cache, tun), dest, patternData(512), ns.root.Split(label))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+
+	// Inheritance: a new flow over a tunnel with stored backoff starts
+	// from the stored timeout, not the optimistic estimate.
+	stored := simnet.Time(60 * time.Second)
+	ns.eng.tunnelRTO[key] = stored
+	flow := ns.eng.SendForwardOpt(origin, build("f1"), opts, nil)
+	st := ns.eng.flows[flow]
+	if st == nil || st.rto != stored {
+		t.Fatalf("flow inherited rto %v, want %v", st.rto, stored)
+	}
+	// First-attempt delivery proves the tunnel healthy: memory dropped.
+	if err := ns.kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ns.eng.tunnelRTO[key]; ok {
+		t.Fatal("first-attempt delivery should drop the tunnel's backoff memory")
+	}
+}
+
+// TestReliableFlowRepeatedRTOInvalidatesHints covers the repeated-expiry
+// satellite for reliable flows: a flow whose retransmissions keep dying
+// evicts its tunnel's cached hop addresses at HintInvalidateAfter
+// expirations — long before the attempt budget exhausts.
+func TestReliableFlowRepeatedRTOInvalidatesHints(t *testing.T) {
+	ns := newNetSys(t, 400, 3, 40)
+	ns.eng.EnableReliability(Reliability{MaxAttempts: 10})
+	in := ns.readyInitiator(t, "a", 12)
+	tun, err := in.FormTunnel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewHintCache()
+	if err := cache.Refresh(ns.svc, tun); err != nil {
+		t.Fatal(err)
+	}
+	for _, hop := range tun.HopIDs() {
+		if cache.Get(hop) == simnet.NoAddr {
+			t.Fatalf("hop %s missing from cache before the flow", hop.Short())
+		}
+	}
+	env, err := BuildForward(tun, hintsFor(cache, tun), dest40, patternData(512), ns.root.Split("f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every transmission dies in flight: the flow sees only RTO expiry.
+	ns.net.InstallFaults(&simnet.FaultPlan{Seed: 3, LossRate: 1})
+	flow := ns.eng.SendForwardOpt(in.Node().Ref().Addr, env, SendOpts{Cache: cache, Hops: tun.HopIDs()}, nil)
+	// With the default-model initial RTO (~7.4s) and 1.5x backoff, the
+	// third attempt's timer — the invalidation point — fires by ~40s,
+	// while exhaustion (10 attempts) is past 500s.
+	if err := ns.kernel.RunUntil(100 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, pending := ns.eng.flows[flow]; !pending {
+		t.Fatal("flow exhausted before the mid-run check; timing assumption broken")
+	}
+	for _, hop := range tun.HopIDs() {
+		if a := cache.Get(hop); a != simnet.NoAddr {
+			t.Fatalf("hop %s hint still cached after repeated RTO expiry", hop.Short())
+		}
+	}
+	if ns.eng.StaleHints == 0 {
+		t.Fatal("repeated-RTO eviction recorded no stale hints")
+	}
+}
+
+var dest40 = id.HashString("rto-file")

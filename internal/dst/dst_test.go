@@ -9,7 +9,7 @@ import (
 // and profiles: no invariant may fire, no infrastructure error may
 // occur, and the schedule must actually exercise the system.
 func TestCleanScenariosHold(t *testing.T) {
-	profiles := []Profile{ProfileFull, ProfileMembership, ProfileStorage, ProfilePool}
+	profiles := []Profile{ProfileFull, ProfileMembership, ProfileStorage, ProfilePool, ProfileStream}
 	seeds := 10
 	if testing.Short() {
 		seeds = 3
@@ -31,8 +31,8 @@ func TestCleanScenariosHold(t *testing.T) {
 		if applied == 0 {
 			t.Fatalf("profile %s: every event skipped — scenarios exercise nothing", p)
 		}
-		if p == ProfileFull && delivered == 0 {
-			t.Fatalf("full profile delivered no flows across %d seeds", seeds)
+		if (p == ProfileFull || p == ProfileStream) && delivered == 0 {
+			t.Fatalf("%s profile delivered no flows across %d seeds", p, seeds)
 		}
 	}
 }
@@ -130,7 +130,8 @@ func TestTraceJSONDeterministic(t *testing.T) {
 // documented checker is registered exactly once.
 func TestCheckerRegistryComplete(t *testing.T) {
 	want := []string{"tha-replication", "leafset", "no-plaintext", "tunnel-liveness",
-		"exactly-once", "rebuild-rate", "pool-reconverge"}
+		"exactly-once", "rebuild-rate", "pool-reconverge",
+		"stream-in-order-delivery", "window-conservation"}
 	got := Checkers()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d checkers, want %d", len(got), len(want))

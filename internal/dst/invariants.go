@@ -68,6 +68,21 @@ func Checkers() []Checker {
 				"target healthy size once all partitions healed and the repair horizon passed",
 			AtQuiescence: checkPoolReconverge,
 		},
+		{
+			Name: "stream-in-order-delivery",
+			Doc: "a windowed stream's receiver hands the application " +
+				"strictly in-order, byte-identical, exactly-once data (checked " +
+				"synchronously at each delivery), every stream resolves, and a " +
+				"completed stream closed exactly once with every sent byte delivered",
+			AtQuiescence: checkStreamDelivery,
+		},
+		{
+			Name: "window-conservation",
+			Doc: "a stream sender never holds more unacknowledged segments " +
+				"in flight than its configured window",
+			AfterEvent:   checkWindowConservation,
+			AtQuiescence: checkWindowConservation,
+		},
 	}
 }
 
@@ -187,6 +202,52 @@ func checkExactlyOnce(r *runner) (string, bool) {
 	for i, rec := range r.poolSends {
 		if rec.outcomes > 1 {
 			return fmt.Sprintf("pool send %d fired its outcome callback %d times", i, rec.outcomes), true
+		}
+	}
+	return "", false
+}
+
+// checkStreamDelivery is the quiescence backstop behind the synchronous
+// OnData discipline (in-order, byte-identical, exactly-once): every
+// stream must have resolved — the kernel only drains once each stream
+// completed or exhausted its retries, so a silent stall is a liveness
+// bug — with exactly one completion callback, and a stream that reports
+// Done must have closed its receiver exactly once after delivering every
+// sent byte. Decidable under loss and reordering alike: an exhausted
+// retry budget still resolves (Done stays false) and is not a violation.
+func checkStreamDelivery(r *runner) (string, bool) {
+	for _, sid := range r.streamIDs {
+		rec := r.streams[sid]
+		if rec.completions == 0 {
+			return fmt.Sprintf("stream %d never resolved (no completion callback)", sid), true
+		}
+		if rec.completions > 1 {
+			return fmt.Sprintf("stream %d fired its completion callback %d times", sid, rec.completions), true
+		}
+		if !rec.s.Done() {
+			continue
+		}
+		if rec.closes != 1 {
+			return fmt.Sprintf("stream %d completed but its receiver closed %d times", sid, rec.closes), true
+		}
+		if rec.recvOff != len(rec.content) {
+			return fmt.Sprintf("stream %d completed but the receiver assembled %d of %d sent bytes",
+				sid, rec.recvOff, len(rec.content)), true
+		}
+	}
+	return "", false
+}
+
+// checkWindowConservation audits every stream sender's peak-inflight
+// observable against the window it was opened with. A sender that
+// overfills its window (the congestion-collapse bug this checker exists
+// for) is caught on the first event after the burst, regardless of
+// whether the extra segments ever arrive.
+func checkWindowConservation(r *runner) (string, bool) {
+	for _, sid := range r.streamIDs {
+		rec := r.streams[sid]
+		if got, w := rec.s.MaxInflightSegs(), rec.s.ConfiguredWindow(); got > w {
+			return fmt.Sprintf("stream %d put %d segments in flight, window %d", sid, got, w), true
 		}
 	}
 	return "", false

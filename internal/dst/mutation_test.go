@@ -26,6 +26,8 @@ func mutationCases() []mutationCase {
 		{"disable-ack-dedup", Mutations{DisableAckDedup: true}, ProfileFull, "exactly-once", 25},
 		{"stall-rebuild", Mutations{StallRebuild: true}, ProfilePool, "pool-reconverge", 5},
 		{"uncapped-rebuild", Mutations{UncappedRebuild: true}, ProfilePool, "rebuild-rate", 5},
+		{"stream-reorder-bypass", Mutations{StreamReorderBypass: true}, ProfileStream, "stream-in-order-delivery", 25},
+		{"stream-window-bypass", Mutations{StreamWindowBypass: true}, ProfileStream, "window-conservation", 25},
 	}
 }
 

@@ -55,6 +55,18 @@ type Mutations struct {
 	// and the rebuild-rate invariant must notice rebuilds the limiter
 	// never admitted.
 	UncappedRebuild bool
+	// StreamReorderBypass plants core.NetEngine.StreamReorderBypass:
+	// stream receivers hand segments to the application in raw arrival
+	// order with no reorder buffer and no dedup, and the
+	// stream-in-order-delivery invariant must notice the first
+	// out-of-order or duplicate delivery.
+	StreamReorderBypass bool
+	// StreamWindowBypass plants core.NetEngine.StreamWindowBypass: stream
+	// senders get a ring far larger than their configured window and
+	// happily overfill it, and the window-conservation invariant must
+	// notice more unacknowledged segments in flight than the window
+	// allows.
+	StreamWindowBypass bool
 }
 
 // Violation is one invariant failure, attributed to the schedule event
@@ -130,6 +142,22 @@ type poolSendRec struct {
 	outcomes int
 }
 
+// streamRec tracks one windowed stream end to end: the sender handle (for
+// the window observables and the final outcome), the exact bytes pumped
+// in, and the receive-side delivery discipline — next expected sequence
+// number, bytes matched against the sent content, close and completion
+// callback counts. The in-order and byte-identity checks run
+// synchronously in the OnData hook; quiescence checkers audit the rest.
+type streamRec struct {
+	s       *core.Stream
+	content []byte
+
+	nextSeq     uint64 // next data sequence number the receiver must deliver
+	recvOff     int    // content bytes matched so far
+	closes      int
+	completions int
+}
+
 type client struct {
 	in      *core.Initiator
 	tunnels []*core.Tunnel
@@ -163,6 +191,11 @@ type runner struct {
 	flows     map[uint64]*flowRec
 	poolSends []*poolSendRec
 
+	// streams tracks windowed streams by stream id; streamIDs is the
+	// insertion (= ascending id) order quiescence checkers iterate in.
+	streams   map[uint64]*streamRec
+	streamIDs []uint64
+
 	// limiter is the rebuild admission control shared by every pool in
 	// the scenario; the rebuild-rate invariant audits it.
 	limiter *core.RateLimiter
@@ -188,6 +221,7 @@ func Run(sc *Scenario, mut Mutations) *Result {
 		protected:  make(map[simnet.Addr]bool),
 		anchorSeen: make(map[id.ID]struct{}),
 		flows:      make(map[uint64]*flowRec),
+		streams:    make(map[uint64]*streamRec),
 		lastEvent:  -1,
 	}
 	r.traffic = r.root.Split("traffic")
@@ -238,6 +272,14 @@ func Run(sc *Scenario, mut Mutations) *Result {
 		if rec.outcomes > 0 && rec.outcome.Delivered {
 			res.Delivered++
 		} else if rec.outcomes > 0 {
+			res.Failed++
+		}
+	}
+	for _, sid := range r.streamIDs {
+		rec := r.streams[sid]
+		if rec.completions > 0 && rec.s.Done() {
+			res.Delivered++
+		} else if rec.completions > 0 {
 			res.Failed++
 		}
 	}
@@ -306,6 +348,34 @@ func (r *runner) build() error {
 	r.eng = core.NewNetEngine(r.svc, r.net)
 	r.eng.EnableReliability(core.Reliability{MaxAttempts: reliabilityBudget})
 	r.eng.DisableAckDedup = r.mut.DisableAckDedup
+	r.eng.StreamReorderBypass = r.mut.StreamReorderBypass
+	r.eng.StreamWindowBypass = r.mut.StreamWindowBypass
+	r.eng.OnStream = func(rs *core.RecvStream) {
+		rec := r.streams[rs.ID()]
+		if rec == nil {
+			return
+		}
+		rs.OnData = func(seq uint64, data []byte) {
+			// Synchronous delivery discipline: strictly in-order sequence
+			// numbers carrying exactly the bytes the sender wrote there.
+			if seq != rec.nextSeq {
+				r.violate("stream-in-order-delivery", fmt.Sprintf(
+					"stream %d delivered seq %d to the application, expected %d",
+					rs.ID(), seq, rec.nextSeq))
+				return
+			}
+			rec.nextSeq++
+			rest := rec.content[rec.recvOff:]
+			if len(data) > len(rest) || !bytes.Equal(data, rest[:len(data)]) {
+				r.violate("stream-in-order-delivery", fmt.Sprintf(
+					"stream %d delivered bytes diverging from the sent content at offset %d",
+					rs.ID(), rec.recvOff))
+				return
+			}
+			rec.recvOff += len(data)
+		}
+		rs.OnClose = func(rs *core.RecvStream) { rec.closes++ }
+	}
 	r.eng.OnDeliver = func(flow uint64, dup bool) {
 		rec, ok := r.flows[flow]
 		if !ok {
@@ -498,6 +568,13 @@ func (r *runner) apply(ev Event) {
 		addr := c.in.Node().Ref().Addr
 		pid := r.net.StartPartition([]simnet.Addr{addr}, ev.Asym)
 		r.kernel.Schedule(ev.Dur, func() { r.net.HealPartition(pid) })
+	case EvStream:
+		c := r.client(ev.Client)
+		if c == nil {
+			r.skipped++
+			return
+		}
+		r.stream(c, ev)
 	case EvPoolSend:
 		c := r.client(ev.Client)
 		if c == nil || c.pool == nil {
@@ -609,6 +686,57 @@ func (r *runner) send(c *client, tun *core.Tunnel, ev Event) {
 		rec.outcomes++
 	})
 	r.flows[flow] = rec
+}
+
+// stream opens one windowed stream — over a tunnel when the client has
+// any, else the direct overt path — and pumps the event's content through
+// the send window. No canary prefix here: stream segments legitimately
+// expose their bytes on the overt exit leg (they are bulk transfers, not
+// sealed payloads), so the no-plaintext tap must not see a marker.
+func (r *runner) stream(c *client, ev Event) {
+	size := ev.Size
+	if size < 64 {
+		size = 64
+	}
+	content := make([]byte, size)
+	r.traffic.Bytes(content)
+	var dest id.ID
+	r.traffic.Bytes(dest[:])
+
+	cfg := core.StreamConfig{Window: ev.W, SegSize: 256}
+	if cfg.Window < 1 {
+		cfg.Window = 2
+	}
+	origin := c.in.Node().Ref().Addr
+	var s *core.Stream
+	if len(c.tunnels) > 0 {
+		tun := c.tunnels[ev.T%len(c.tunnels)]
+		cache := core.NewHintCache()
+		// A partially refreshed cache (some hop lost) is still usable:
+		// missing entries fall back to DHT routing.
+		_ = cache.Refresh(r.svc, tun)
+		s = r.eng.OpenTunnelStream(origin, tun, cache, dest, cfg)
+	} else {
+		s = r.eng.OpenStream(origin, dest, simnet.NoAddr, cfg)
+	}
+	rec := &streamRec{s: s, content: content}
+	r.streams[s.ID()] = rec
+	r.streamIDs = append(r.streamIDs, s.ID())
+	s.OnComplete = func(bool) { rec.completions++ }
+	off := 0
+	pump := func() {
+		for off < len(content) {
+			want := len(content) - off
+			n := s.Write(content[off:])
+			off += n
+			if n < want {
+				return // window full; resumed by OnWritable
+			}
+		}
+		s.Close()
+	}
+	s.OnWritable = pump
+	pump()
 }
 
 // payload builds a canary-prefixed payload of at least size bytes.

@@ -56,6 +56,10 @@ const (
 	// EvPoolSend has a client send through its tunnel pool (failover and
 	// fast-fail semantics) rather than over one fixed tunnel.
 	EvPoolSend EventKind = "pool-send"
+	// EvStream has a client open a windowed stream — over one of its
+	// formed tunnels when it has any, else the direct overt path — and
+	// pump Size bytes through a W-segment send window.
+	EvStream EventKind = "stream"
 )
 
 // Event is one concrete schedule step. Selector fields (Addr, Addrs, T)
@@ -73,8 +77,9 @@ type Event struct {
 	N      int  `json:"n,omitempty"`      // deploy: anchor count; pool: pool size
 	L      int  `json:"l,omitempty"`      // form/pool: tunnel length
 	T      int  `json:"t,omitempty"`      // send: tunnel selector (mod formed tunnels)
-	Size   int  `json:"size,omitempty"`   // send/pool-send: payload bytes
+	Size   int  `json:"size,omitempty"`   // send/pool-send/stream: payload bytes
 	Hints  bool `json:"hints,omitempty"`  // send: use a freshly refreshed hint cache
+	W      int  `json:"w,omitempty"`      // stream: send window (segments)
 
 	Asym bool        `json:"asym,omitempty"` // partition: inbound-only cut
 	Dur  simnet.Time `json:"dur,omitempty"`  // partition: window length
@@ -98,6 +103,12 @@ const (
 	// rebuild admission control). Loss-free by construction so pool
 	// reconvergence stays decidable.
 	ProfilePool Profile = "pool"
+	// ProfileStream drives windowed streams through churn, loss and
+	// adversarial reordering: the in-order-stream-delivery and
+	// window-conservation property surface. Both stream invariants stay
+	// decidable under loss (a stream that exhausts its retries resolves
+	// honestly), so lossy seeds are as useful as loss-free ones.
+	ProfileStream Profile = "stream"
 )
 
 // Scenario is one replayable simulation: world shape, fault knobs, and
@@ -165,7 +176,7 @@ func Gen(seed uint64, profile Profile) *Scenario {
 	if profile == ProfileMembership {
 		sc.Clients = 0
 	}
-	if profile == ProfileFull {
+	if profile == ProfileFull || profile == ProfileStream {
 		if shape.Bool(0.5) {
 			sc.Loss = 0.02 + 0.1*shape.Float64()
 		}
@@ -187,7 +198,7 @@ func Gen(seed uint64, profile Profile) *Scenario {
 		return at
 	}
 	switch profile {
-	case ProfileFull:
+	case ProfileFull, ProfileStream:
 		for c := 0; c < sc.Clients; c++ {
 			sc.Events = append(sc.Events, Event{At: next(), Kind: EvDeploy, Client: c, N: 8})
 		}
@@ -255,6 +266,29 @@ func genEvent(sc *Scenario, profile Profile, evs *rng.Stream, at simnet.Time) Ev
 			ev.Kind = EvPoolSend
 			ev.Client = evs.Intn(sc.Clients)
 			ev.Size = 256 + evs.Intn(1024)
+		}
+	case ProfileStream:
+		switch {
+		case roll < 15:
+			ev.Kind = EvJoin
+		case roll < 33:
+			ev.Kind = EvFail
+			ev.Addr = uint64(evs.Intn(1 << 16))
+		case roll < 41:
+			ev.Kind = EvBatchFail
+			for i, m := 0, 2+evs.Intn(5); i < m; i++ {
+				ev.Addrs = append(ev.Addrs, uint64(evs.Intn(1<<16)))
+			}
+		case roll < 53:
+			ev.Kind = EvForm
+			ev.Client = evs.Intn(sc.Clients)
+			ev.L = 2 + evs.Intn(3)
+		default:
+			ev.Kind = EvStream
+			ev.Client = evs.Intn(sc.Clients)
+			ev.T = evs.Intn(8)
+			ev.Size = 512 + evs.Intn(4096)
+			ev.W = 2 + evs.Intn(6)
 		}
 	case ProfileStorage:
 		switch {

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"tap/internal/core"
+	"tap/internal/id"
+	"tap/internal/pastry"
+	"tap/internal/rng"
+	"tap/internal/simnet"
+	"tap/internal/trace"
+)
+
+// ExtThroughputParams configures the heavy-traffic streaming experiment:
+// a population of windowed streams — up to the million-flow mark — rides
+// a shared set of tunnels while the overlay churns underneath, with
+// destination popularity drawn from a Zipf distribution (a few hot
+// responders soak most of the traffic, the classic content-distribution
+// shape). The sweep crosses per-link loss with send-window size; window 1
+// degenerates to PR 1's stop-and-wait and is the built-in baseline every
+// other window is read against.
+type ExtThroughputParams struct {
+	N          int // overlay size
+	Clients    int // stream sources (each owns TunnelsPer tunnels)
+	TunnelsPer int // formed tunnels per client
+	Length     int // tunnel length l
+	// Flows is the concurrent stream population per combo. All flows open
+	// within the Ramp window, so with flow completion times longer than
+	// the ramp the whole population is in flight at once.
+	Flows     int
+	FlowBytes int // payload bytes per stream
+	// Dests and ZipfS shape the destination catalog: Flows draws from a
+	// Zipf(s) popularity over Dests distinct ids.
+	Dests int
+	ZipfS float64
+	// Windows are the send-window sizes swept; LossRates the per-link
+	// loss probabilities.
+	Windows   []int
+	LossRates []float64
+	SegSize   int
+	Ramp      time.Duration // arrival window for the flow population
+	// ChurnFails nodes fail at uniformly random times inside the ramp
+	// window (THA migration keeps tunnels functional; address hints go
+	// stale and must be re-resolved).
+	ChurnFails int
+	Seed       uint64
+}
+
+func (p ExtThroughputParams) withDefaults() ExtThroughputParams {
+	if p.N == 0 {
+		p.N = 1000
+	}
+	if p.Clients == 0 {
+		p.Clients = 16
+	}
+	if p.TunnelsPer == 0 {
+		p.TunnelsPer = 4
+	}
+	if p.Length == 0 {
+		p.Length = 3
+	}
+	if p.Flows == 0 {
+		p.Flows = 2000
+	}
+	if p.FlowBytes == 0 {
+		p.FlowBytes = 2048
+	}
+	if p.Dests == 0 {
+		p.Dests = 256
+	}
+	if p.ZipfS == 0 {
+		p.ZipfS = 1.1
+	}
+	if len(p.Windows) == 0 {
+		p.Windows = []int{1, 16}
+	}
+	if len(p.LossRates) == 0 {
+		p.LossRates = []float64{0, 0.01, 0.05}
+	}
+	if p.SegSize == 0 {
+		p.SegSize = 256
+	}
+	if p.Ramp == 0 {
+		p.Ramp = 10 * time.Second
+	}
+	if p.ChurnFails == 0 {
+		p.ChurnFails = p.N / 50
+	}
+	if p.Seed == 0 {
+		p.Seed = 2004
+	}
+	return p
+}
+
+// Series name constructors: one column set per swept window size.
+func seriesGoodput(w int) string   { return fmt.Sprintf("goodput_MBps(w=%d)", w) }
+func seriesFCTp50(w int) string    { return fmt.Sprintf("fct_p50_s(w=%d)", w) }
+func seriesFCTp99(w int) string    { return fmt.Sprintf("fct_p99_s(w=%d)", w) }
+func seriesRetxRatio(w int) string { return fmt.Sprintf("retx_ratio(w=%d)", w) }
+func seriesDelivered(w int) string { return fmt.Sprintf("delivered(w=%d)", w) }
+func seriesPeakConc(w int) string  { return fmt.Sprintf("peak_concurrent(w=%d)", w) }
+
+// zipfSampler draws catalog ranks from a Zipf(s) popularity by inverting
+// a precomputed CDF. Hand-rolled so draws come from the deterministic
+// rng.Stream, not math/rand.
+type zipfSampler struct {
+	cdf []float64
+}
+
+func newZipfSampler(n int, s float64) *zipfSampler {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipfSampler{cdf: cdf}
+}
+
+func (z *zipfSampler) draw(stream *rng.Stream) int {
+	return sort.SearchFloat64s(z.cdf, stream.Float64())
+}
+
+// ExtThroughput sweeps loss rate against send-window size and reports,
+// per combination: goodput (delivered payload over the makespan), flow
+// completion time at p50 and p99, the retransmit ratio, the delivered
+// fraction, and the peak number of simultaneously open streams. Every
+// series is deterministic in Seed — goodput is computed from simulated
+// time, not wall clock.
+func ExtThroughput(p ExtThroughputParams) (*trace.Table, error) {
+	p = p.withDefaults()
+	series := make([]string, 0, 6*len(p.Windows))
+	for _, w := range p.Windows {
+		series = append(series, seriesGoodput(w), seriesFCTp50(w), seriesFCTp99(w),
+			seriesRetxRatio(w), seriesDelivered(w), seriesPeakConc(w))
+	}
+	tbl := newSyncTable(
+		fmt.Sprintf("Ext: streaming throughput — %d zipf flows over %d tunnels under churn (N=%d, l=%d, %dB flows, %d fails)",
+			p.Flows, p.Clients*p.TunnelsPer, p.N, p.Length, p.FlowBytes, p.ChurnFails),
+		"loss %", series...)
+
+	type job struct{ li, wi int }
+	var jobs []job
+	for li := range p.LossRates {
+		for wi := range p.Windows {
+			jobs = append(jobs, job{li, wi})
+		}
+	}
+	root := rng.New(p.Seed)
+	err := ParallelScratch(len(jobs), func(i int, mem *pastry.Scratch) error {
+		j := jobs[i]
+		loss := p.LossRates[j.li]
+		window := p.Windows[j.wi]
+		// Streams split per loss rate only: every window size replays the
+		// identical world, tunnels, churn plan, and flow schedule.
+		stream := root.SplitN(fmt.Sprintf("tp-l%d", j.li), 0)
+		m, err := runThroughputTrial(p, loss, window, stream, mem)
+		if err != nil {
+			return err
+		}
+		x := loss * 100
+		tbl.Add(x, seriesGoodput(window), m.goodputMBps)
+		tbl.Add(x, seriesFCTp50(window), m.fct.Quantile(0.50))
+		tbl.Add(x, seriesFCTp99(window), m.fct.Quantile(0.99))
+		tbl.Add(x, seriesRetxRatio(window), m.retxRatio)
+		tbl.Add(x, seriesDelivered(window), m.delivered)
+		tbl.Add(x, seriesPeakConc(window), float64(m.peakConcurrent))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tbl.Table(), nil
+}
+
+// throughputMetrics is one (loss, window) combo's outcome.
+type throughputMetrics struct {
+	goodputMBps    float64
+	fct            trace.Sample
+	retxRatio      float64
+	delivered      float64
+	peakConcurrent int
+}
+
+// runThroughputTrial runs one full flow population through one faulty
+// world and measures it.
+func runThroughputTrial(p ExtThroughputParams, loss float64, window int, stream *rng.Stream, mem *pastry.Scratch) (*throughputMetrics, error) {
+	w, err := BuildWorldIn(mem, p.N, 3, stream.Split("world"))
+	if err != nil {
+		return nil, err
+	}
+	kernel := simnet.NewKernel()
+	kernel.MaxSteps = 0
+	net := simnet.NewNetwork(kernel, simnet.DefaultLinkModel(stream.Seed()), w.OV.NumAddrs())
+	w.Svc.Net = net
+	eng := core.NewNetEngine(w.Svc, net)
+	if loss > 0 {
+		net.InstallFaults(&simnet.FaultPlan{Seed: stream.Seed(), LossRate: loss})
+	}
+
+	// Clients and their tunnel sets. Client origins are protected from
+	// churn — a dead sender measures nothing.
+	setup := stream.Split("setup")
+	type src struct {
+		origin  simnet.Addr
+		tunnels []*core.Tunnel
+		caches  []*core.HintCache
+	}
+	srcs := make([]*src, 0, p.Clients)
+	protected := make(map[simnet.Addr]bool)
+	for ci := 0; ci < p.Clients; ci++ {
+		node := w.OV.RandomLive(setup)
+		for protected[node.Ref().Addr] {
+			node = w.OV.RandomLive(setup)
+		}
+		protected[node.Ref().Addr] = true
+		in, err := core.NewInitiator(w.Svc, node, setup.SplitN("client", ci))
+		if err != nil {
+			return nil, err
+		}
+		if err := in.DeployDirect(p.Length * p.TunnelsPer); err != nil {
+			return nil, err
+		}
+		s := &src{origin: node.Ref().Addr}
+		for ti := 0; ti < p.TunnelsPer; ti++ {
+			tun, err := in.FormTunnel(p.Length)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ext-throughput client %d tunnel %d: %w", ci, ti, err)
+			}
+			cache := core.NewHintCache()
+			if err := cache.Refresh(w.Svc, tun); err != nil {
+				return nil, err
+			}
+			s.tunnels = append(s.tunnels, tun)
+			s.caches = append(s.caches, cache)
+		}
+		srcs = append(srcs, s)
+	}
+
+	// Destination catalog with Zipf popularity.
+	catalog := make([]id.ID, p.Dests)
+	for i := range catalog {
+		setup.Bytes(catalog[i][:])
+	}
+	zipf := newZipfSampler(p.Dests, p.ZipfS)
+
+	// Churn: fail random non-client nodes at uniform times inside the ramp
+	// window. THA migration fails hop anchors over to replicas; stale hop
+	// hints are re-resolved by the streams' retransmission path.
+	churn := stream.Split("churn")
+	for i := 0; i < p.ChurnFails; i++ {
+		at := simnet.Time(float64(p.Ramp) * churn.Float64())
+		kernel.At(at, func() {
+			if w.OV.Size() <= p.N/2 {
+				return
+			}
+			victim := w.OV.RandomLive(churn)
+			if protected[victim.Ref().Addr] {
+				return
+			}
+			addr := victim.Ref().Addr
+			if err := w.OV.Fail(addr); err == nil {
+				net.Detach(addr)
+			}
+		})
+	}
+
+	// The flow population: each flow opens at a uniform time in the ramp
+	// window, on a round-robin client/tunnel, toward a Zipf-drawn
+	// destination, and pumps FlowBytes through its window.
+	flows := stream.Split("flows")
+	content := make([]byte, p.FlowBytes)
+	flows.Bytes(content)
+	cfg := core.StreamConfig{Window: window, SegSize: p.SegSize}
+	m := &throughputMetrics{}
+	var (
+		deliveredN int
+		live       int
+		doneAt     trace.Sample
+	)
+	for fi := 0; fi < p.Flows; fi++ {
+		fi := fi
+		s := srcs[fi%len(srcs)]
+		ti := (fi / len(srcs)) % len(s.tunnels)
+		dest := catalog[zipf.draw(flows)]
+		start := simnet.Time(float64(p.Ramp) * flows.Float64())
+		kernel.At(start, func() {
+			st := eng.OpenTunnelStream(s.origin, s.tunnels[ti], s.caches[ti], dest, cfg)
+			live++
+			if live > m.peakConcurrent {
+				m.peakConcurrent = live
+			}
+			st.OnComplete = func(ok bool) {
+				live--
+				if ok {
+					deliveredN++
+					m.fct.Add((kernel.Now() - start).Seconds())
+					doneAt.Add(kernel.Now().Seconds())
+				}
+			}
+			off := 0
+			pump := func() {
+				for off < len(content) {
+					want := len(content) - off
+					n := st.Write(content[off:])
+					off += n
+					if n < want {
+						return
+					}
+				}
+				st.Close()
+			}
+			st.OnWritable = pump
+			pump()
+		})
+	}
+
+	if err := kernel.Run(); err != nil {
+		return nil, err
+	}
+	// Aggregate goodput over the 99th-percentile completion horizon: the
+	// payload carried by the fastest 99% of delivered flows, divided by
+	// the time the last of them finished. Dividing by the full makespan
+	// instead would let a single straggler's worst-case backoff chain
+	// define the divisor and say nothing about sustained throughput.
+	if n := doneAt.N(); n > 0 {
+		n99 := int(math.Ceil(0.99 * float64(n)))
+		t99 := doneAt.Quantile(0.99)
+		if t99 > 0 {
+			m.goodputMBps = float64(n99) * float64(p.FlowBytes) / t99 / 1e6
+		}
+	}
+	if eng.StreamSegsSent > 0 {
+		m.retxRatio = float64(eng.StreamSegsRetx) / float64(eng.StreamSegsSent)
+	}
+	m.delivered = float64(deliveredN) / float64(p.Flows)
+	return m, nil
+}

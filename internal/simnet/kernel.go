@@ -29,10 +29,19 @@ type Time = time.Duration
 // and are referenced by index; the queues shuffle 4-byte slot numbers, not
 // pointers, and freed slots are recycled through a freelist so Schedule
 // allocates nothing in steady state.
+//
+// An event is either a plain callback (fn != nil) or a message delivery
+// (msg != nil): message events carry their operands in the slot itself and
+// run through the kernel's OnMessage hook, so scheduling one allocates no
+// closure. The two forms share the (at, seq) total order.
 type event struct {
 	at  Time
 	seq uint64 // tie-break so equal-time events run in schedule order
 	fn  func()
+
+	// Message-delivery operands (message events only).
+	msg      Message
+	src, dst Addr
 }
 
 // Calendar-queue geometry. Near-future events hash into a ring of buckets
@@ -49,6 +58,13 @@ const (
 	numBuckets  = 1024
 	bucketMask  = numBuckets - 1
 	bitmapWords = numBuckets / 64
+	// initialBucketCap pre-sizes every ring bucket. A windowed-stream
+	// burst schedules a full send window of same-latency messages onto one
+	// tick, so buckets routinely hold tens of events at once; carving the
+	// initial capacity out of one slab keeps the steady-state schedule
+	// path allocation-free instead of paying append growth at every ring
+	// position the simulation's clock walks over.
+	initialBucketCap = 64
 )
 
 // Kernel is the discrete-event scheduler. The zero value is not usable;
@@ -61,6 +77,11 @@ type Kernel struct {
 	// MaxSteps guards against runaway simulations (a routing loop would
 	// otherwise spin the event loop forever). Zero means no limit.
 	MaxSteps uint64
+
+	// OnMessage receives message events scheduled with ScheduleMessage.
+	// NewNetwork installs the owning network's arrival path here; a kernel
+	// carries at most one network's traffic.
+	OnMessage func(src, dst Addr, msg Message)
 
 	ev   []event  // slot arena; queues reference slots by index
 	free []uint32 // recycled slots
@@ -76,7 +97,13 @@ type Kernel struct {
 
 // NewKernel returns a kernel with the clock at zero.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	k := &Kernel{}
+	slab := make([]uint32, numBuckets*initialBucketCap)
+	for i := range k.buckets {
+		off := i * initialBucketCap
+		k.buckets[i] = slab[off : off : off+initialBucketCap]
+	}
+	return k
 }
 
 // Now returns the current simulated time.
@@ -109,6 +136,29 @@ func (k *Kernel) At(t Time, fn func()) {
 	k.seq++
 	s := k.allocSlot()
 	k.ev[s] = event{at: t, seq: k.seq, fn: fn}
+	k.enqueue(t, s)
+}
+
+// ScheduleMessage schedules delivery of msg from src to dst after delay,
+// dispatched through OnMessage. Unlike Schedule with a closure, the
+// operands ride in the event slot, so the steady-state cost is zero
+// allocations — this is the transmission fast path of Network.Send.
+func (k *Kernel) ScheduleMessage(delay Time, src, dst Addr, msg Message) {
+	if delay < 0 {
+		panic(fmt.Sprintf("simnet: negative delay %v", delay))
+	}
+	if msg == nil {
+		panic("simnet: nil message")
+	}
+	t := k.now + delay
+	k.seq++
+	s := k.allocSlot()
+	k.ev[s] = event{at: t, seq: k.seq, msg: msg, src: src, dst: dst}
+	k.enqueue(t, s)
+}
+
+// enqueue files slot s, already stamped with time t, into the calendar.
+func (k *Kernel) enqueue(t Time, s uint32) {
 	k.count++
 	if tick := int64(t >> tickShift); tick < k.baseTick+numBuckets {
 		// baseTick never exceeds the tick of the event being executed, so
@@ -160,12 +210,18 @@ func (k *Kernel) step() error {
 	s := k.popMin()
 	e := &k.ev[s]
 	at, fn := e.at, e.fn
+	msg, src, dst := e.msg, e.src, e.dst
 	e.fn = nil // release the closure before recycling the slot
+	e.msg = nil
 	k.free = append(k.free, s)
 	k.now = at
 	k.steps++
 	if k.MaxSteps > 0 && k.steps > k.MaxSteps {
 		return fmt.Errorf("simnet: exceeded %d events at t=%v (likely a message loop)", k.MaxSteps, k.now)
+	}
+	if msg != nil {
+		k.OnMessage(src, dst, msg)
+		return nil
 	}
 	fn()
 	return nil

@@ -145,13 +145,17 @@ type partition struct {
 	asym    bool
 }
 
-// NewNetwork returns a network with capacity for n addresses.
+// NewNetwork returns a network with capacity for n addresses. The network
+// claims the kernel's message-delivery hook; a kernel carries at most one
+// network's traffic.
 func NewNetwork(k *Kernel, link LinkModel, n int) *Network {
-	return &Network{
+	net := &Network{
 		Kernel:   k,
 		Link:     link,
 		handlers: make([]Handler, n),
 	}
+	k.OnMessage = net.arrive
+	return net
 }
 
 // Attach binds handler to addr. Attaching over a live handler is a
@@ -246,18 +250,24 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 			delay += extra
 		}
 	}
-	n.Kernel.Schedule(delay, func() {
-		h := n.handlers[dst]
-		if h == nil || (n.faults != nil && n.faults.down[dst]) {
-			n.Stats.MessagesDropped++
-			if n.DropHook != nil {
-				n.DropHook(src, dst, msg)
-			}
-			return
+	n.Kernel.ScheduleMessage(delay, src, dst, msg)
+}
+
+// arrive executes one message-delivery event: the in-flight transmission
+// reaches dst. Handlers and crash windows are consulted at arrival time,
+// matching a real network where the sender cannot know the destination's
+// fate when the bits leave.
+func (n *Network) arrive(src, dst Addr, msg Message) {
+	h := n.handlers[dst]
+	if h == nil || (n.faults != nil && n.faults.down[dst]) {
+		n.Stats.MessagesDropped++
+		if n.DropHook != nil {
+			n.DropHook(src, dst, msg)
 		}
-		n.Stats.MessagesDelivered++
-		h.Deliver(n, src, msg)
-	})
+		return
+	}
+	n.Stats.MessagesDelivered++
+	h.Deliver(n, src, msg)
 }
 
 // Now exposes the kernel clock, saving callers a dereference.
