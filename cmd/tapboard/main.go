@@ -1,0 +1,45 @@
+// Command tapboard runs the bulletin-board coordinator for a
+// real-process TAP overlay: it assigns joining tapnode processes their
+// transport addresses, hands out the peer table, and tracks liveness
+// via heartbeats and connection state.
+//
+//	tapboard -listen 127.0.0.1:7070
+//
+// The first stdout line is "tapboard listening on <addr>", so scripts
+// (and the integration test) can bind port 0 and discover the real one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tap/internal/board"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "host:port to listen on")
+	stale := flag.Duration("stale", 30*time.Second, "prune members with no heartbeat for this long (0 disables)")
+	verbose := flag.Bool("v", false, "log membership changes")
+	flag.Parse()
+
+	cfg := board.Config{StaleAfter: *stale}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	b := board.New(cfg)
+	addr, err := b.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tapboard listening on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	b.Close()
+}

@@ -1,0 +1,187 @@
+package board
+
+import (
+	"testing"
+	"time"
+
+	"tap/internal/transport"
+)
+
+func startBoard(t *testing.T, cfg Config) (*Board, string) {
+	t.Helper()
+	b := New(cfg)
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return b, addr
+}
+
+func TestRegisterAssignsDenseAddrs(t *testing.T) {
+	b, addr := startBoard(t, Config{})
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		clients = append(clients, c)
+	}
+	seen := map[transport.Addr]bool{}
+	for i, c := range clients {
+		a, peers, err := c.Register("127.0.0.1:1000")
+		if err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+		if seen[a] {
+			t.Fatalf("duplicate addr %d", a)
+		}
+		seen[a] = true
+		if len(peers) != i+1 {
+			t.Fatalf("register %d saw %d peers", i, len(peers))
+		}
+	}
+	for a := transport.Addr(0); a < 3; a++ {
+		if !seen[a] {
+			t.Fatalf("addresses not dense: %v", seen)
+		}
+	}
+	if b.MemberCount() != 3 {
+		t.Fatalf("member count %d", b.MemberCount())
+	}
+}
+
+func TestPeersReflectsMembership(t *testing.T) {
+	_, addr := startBoard(t, Config{})
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c1.Close)
+	a1, _, err := c1.Register("127.0.0.1:1111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, err := c1.Peers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peers[a1] != "127.0.0.1:1111" {
+		t.Fatalf("peer table %v", peers)
+	}
+}
+
+func TestWaitBlocksUntilQuorum(t *testing.T) {
+	_, addr := startBoard(t, Config{})
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c1.Close)
+	if _, _, err := c1.Register("127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan map[transport.Addr]string, 1)
+	errs := make(chan error, 1)
+	go func() {
+		peers, err := c1.WaitForPeers(3, 10*time.Second)
+		if err != nil {
+			errs <- err
+			return
+		}
+		got <- peers
+	}()
+
+	// Not satisfied yet: two more members must join.
+	select {
+	case p := <-got:
+		t.Fatalf("wait returned early with %v", p)
+	case err := <-errs:
+		t.Fatalf("wait failed early: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	for i := 0; i < 2; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		if _, _, err := c.Register("127.0.0.1:2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case peers := <-got:
+		if len(peers) != 3 {
+			t.Fatalf("ready with %d peers", len(peers))
+		}
+	case err := <-errs:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("wait never satisfied")
+	}
+}
+
+func TestDisconnectRemovesMember(t *testing.T) {
+	b, addr := startBoard(t, Config{})
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c1.Register("127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if b.MemberCount() != 1 {
+		t.Fatalf("count %d", b.MemberCount())
+	}
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.MemberCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("member not removed after disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHeartbeatKeepsMemberAlive(t *testing.T) {
+	b, addr := startBoard(t, Config{StaleAfter: 150 * time.Millisecond})
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c1.Close)
+	if _, _, err := c1.Register("127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	c1.StartHeartbeat(30 * time.Millisecond)
+	time.Sleep(500 * time.Millisecond)
+	if b.MemberCount() != 1 {
+		t.Fatal("heartbeating member was pruned")
+	}
+}
+
+func TestStaleMemberPruned(t *testing.T) {
+	b, addr := startBoard(t, Config{StaleAfter: 100 * time.Millisecond})
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c1.Close)
+	if _, _, err := c1.Register("127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	// No heartbeats: the member must be pruned even though the
+	// connection stays open (a wedged process).
+	deadline := time.Now().Add(5 * time.Second)
+	for b.MemberCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stale member never pruned")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

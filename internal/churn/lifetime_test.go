@@ -23,7 +23,7 @@ func netSetup(t testing.TB, n int, seed uint64) (*pastry.Overlay, *past.Manager,
 	k.MaxSteps = 5_000_000
 	net := simnet.NewNetwork(k, simnet.DefaultLinkModel(seed), ov.NumAddrs())
 	for _, r := range ov.LiveRefs() {
-		net.Attach(r.Addr, simnet.HandlerFunc(func(*simnet.Network, simnet.Addr, simnet.Message) {}))
+		net.Attach(r.Addr, simnet.HandlerFunc(func(simnet.Addr, simnet.Message) {}))
 	}
 	return ov, mgr, k, net, root.Split("churn")
 }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoWallClockInCore statically audits every non-test source file in
+// this package for wall-clock calls. The engines must take time only
+// from the transport seam's Clock (Now/Schedule) — a stray time.Now()
+// or time.Since() would read the host's clock, silently breaking
+// deterministic replay on the simulator and making golden traces
+// unreproducible. The guard parses the sources so new call sites fail
+// the build's test run, not a code review.
+func TestNoWallClockInCore(t *testing.T) {
+	banned := map[string]bool{
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+		"AfterFunc": true,
+	}
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, file, src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", file, err)
+		}
+		// Find the local name of the "time" import (skip files that
+		// don't import it at all).
+		timeName := ""
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "time" {
+				timeName = "time"
+				if imp.Name != nil {
+					timeName = imp.Name.Name
+				}
+			}
+		}
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != timeName {
+				return true
+			}
+			if banned[sel.Sel.Name] {
+				t.Errorf("%s: %s.%s reads the wall clock — use the transport Clock (Now/Schedule) instead",
+					fset.Position(sel.Pos()), timeName, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

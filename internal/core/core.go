@@ -33,6 +33,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"tap/internal/crypt"
 	"tap/internal/id"
@@ -40,6 +41,7 @@ import (
 	"tap/internal/rng"
 	"tap/internal/simnet"
 	"tap/internal/tha"
+	"tap/internal/transport"
 )
 
 // Tunnel is the owner's view of an anonymous tunnel: the ordered hop
@@ -105,11 +107,12 @@ var (
 )
 
 // Service bundles the substrate a TAP deployment runs on. Net is optional:
-// logical walks do not need it.
+// logical walks do not need it. It is typed as the transport seam, so a
+// service can ride the simulator or a real transport interchangeably.
 type Service struct {
 	OV  *pastry.Overlay
 	Dir *tha.Directory
-	Net *simnet.Network
+	Net transport.Transport
 
 	// Stream supplies nonces and fake-onion padding.
 	Stream *rng.Stream
@@ -141,8 +144,15 @@ func NewService(ov *pastry.Overlay, dir *tha.Directory, stream *rng.Stream) *Ser
 // their current hop nodes (§5: "The initiator can maintain a cache of the
 // mappings between a tunnel hop hopid and the IP address of its tunnel hop
 // node, and it can periodically refresh the cache").
+//
+// The cache is owned by the initiating application, not the engine: over a
+// real transport a background refresher and the engine's event loop touch
+// it from different goroutines, so access is guarded by an internal
+// RWMutex. (On the simulator everything runs on one loop and the lock is
+// uncontended.)
 type HintCache struct {
-	m map[id.ID]simnet.Addr
+	mu sync.RWMutex
+	m  map[id.ID]simnet.Addr
 }
 
 // NewHintCache returns an empty cache.
@@ -159,7 +169,10 @@ func (c *HintCache) Refresh(svc *Service, t *Tunnel) error {
 		if !ok {
 			return fmt.Errorf("%w: %s", ErrHopLost, h.HopID.Short())
 		}
-		c.m[h.HopID] = node.Ref().Addr
+		addr := node.Ref().Addr
+		c.mu.Lock()
+		c.m[h.HopID] = addr
+		c.mu.Unlock()
 	}
 	return nil
 }
@@ -170,7 +183,9 @@ func (c *HintCache) Refresh(svc *Service, t *Tunnel) error {
 // the next Refresh re-resolves the hop node.
 func (c *HintCache) Invalidate(hopID id.ID) {
 	if c != nil && c.m != nil {
+		c.mu.Lock()
 		delete(c.m, hopID)
+		c.mu.Unlock()
 	}
 }
 
@@ -179,7 +194,10 @@ func (c *HintCache) Get(hopID id.ID) simnet.Addr {
 	if c == nil || c.m == nil {
 		return simnet.NoAddr
 	}
-	if a, ok := c.m[hopID]; ok {
+	c.mu.RLock()
+	a, ok := c.m[hopID]
+	c.mu.RUnlock()
+	if ok {
 		return a
 	}
 	return simnet.NoAddr

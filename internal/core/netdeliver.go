@@ -2,22 +2,30 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"tap/internal/id"
 	"tap/internal/pastry"
 	"tap/internal/rng"
 	"tap/internal/simnet"
+	"tap/internal/transport"
 	"tap/internal/wire"
 )
 
-// NetEngine drives tunnel traffic through the discrete-event network, the
-// measurement substrate for Figure 6. The same layer formats and hop logic
-// as the logical walker apply, but every overlay hop is a real
-// store-and-forward network transmission with latency and serialization
-// delay, so end-to-end transfer times are meaningful.
+// NetEngine drives tunnel traffic through a transport, the measurement
+// substrate for Figure 6. The same layer formats and hop logic as the
+// logical walker apply, but every overlay hop is a real store-and-forward
+// network transmission with latency and serialization delay, so
+// end-to-end transfer times are meaningful.
+//
+// The engine is written against the transport seam (internal/transport),
+// never a concrete network: under simtransport (the discrete-event
+// emulator) behavior is deterministic and bit-identical to the
+// pre-seam engine; the same machinery drives real sockets when handed a
+// tcptransport. All engine callbacks run on the transport's event loop.
 type NetEngine struct {
 	svc *Service
-	net *simnet.Network
+	net transport.Transport
 
 	nextFlow uint64
 	done     map[uint64]func(Outcome)
@@ -39,6 +47,11 @@ type NetEngine struct {
 	// tunnelRTO remembers the backed-off retransmit timeout per tunnel
 	// (keyed by first hop), so a new flow over a tunnel that just proved
 	// lossy starts from the inherited backoff instead of resetting it.
+	// rtoMu guards it: on the simulated transport every access happens on
+	// the single event loop, but applications running over a real
+	// transport may open streams from their own goroutines, making this
+	// the first engine map reachable from more than one goroutine.
+	rtoMu     sync.Mutex
 	tunnelRTO map[id.ID]simnet.Time
 
 	// Windowed-stream state (stream.go).
@@ -206,8 +219,10 @@ func (p *packet) SizeBytes() int {
 }
 
 // NewNetEngine attaches handlers for every currently live node and for
-// future joiners.
-func NewNetEngine(svc *Service, net *simnet.Network) *NetEngine {
+// future joiners. net is any transport implementation; the experiments
+// and tests pass the simulated network, which satisfies the interface
+// directly.
+func NewNetEngine(svc *Service, net transport.Transport) *NetEngine {
 	e := &NetEngine{
 		svc: svc, net: net,
 		done:          make(map[uint64]func(Outcome)),
@@ -240,7 +255,7 @@ func NewNetEngine(svc *Service, net *simnet.Network) *NetEngine {
 
 // attach binds the engine's handler to one address.
 func (e *NetEngine) attach(addr simnet.Addr) {
-	e.net.Attach(addr, simnet.HandlerFunc(func(n *simnet.Network, from simnet.Addr, msg simnet.Message) {
+	e.net.Attach(addr, simnet.HandlerFunc(func(from simnet.Addr, msg simnet.Message) {
 		pkt, ok := msg.(*packet)
 		if !ok {
 			// Traffic that is not tunnel protocol — e.g. cover dummies —

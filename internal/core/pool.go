@@ -323,7 +323,7 @@ func (p *TunnelPool) jittered(d simnet.Time, frac float64) simnet.Time {
 }
 
 func (p *TunnelPool) scheduleTick() {
-	p.eng.net.Kernel.Schedule(p.jittered(p.cfg.ProbeInterval, p.cfg.ProbeJitterFrac), func() {
+	p.eng.net.Schedule(p.jittered(p.cfg.ProbeInterval, p.cfg.ProbeJitterFrac), func() {
 		if p.stopped {
 			return
 		}
@@ -388,7 +388,7 @@ func (p *TunnelPool) probeTunnel(t *Tunnel, cache *HintCache, cb func(ok bool)) 
 	p.eng.SendForwardOpt(p.in.node.Ref().Addr, env, opts, func(o Outcome) {
 		once(o.Delivered)
 	})
-	p.eng.net.Kernel.Schedule(p.cfg.ProbeTimeout, func() {
+	p.eng.net.Schedule(p.cfg.ProbeTimeout, func() {
 		if !fired {
 			p.Stats.ProbeTimeouts++
 		}

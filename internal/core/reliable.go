@@ -146,6 +146,57 @@ func (e *NetEngine) EnableReliability(cfg Reliability) {
 	e.rel = &r
 }
 
+// --- per-tunnel backoff memory ----------------------------------------------
+//
+// The tunnelRTO map is shared by reliable flows and streams and may be
+// consulted from application goroutines when the engine runs over a real
+// transport, so every access goes through these rtoMu-guarded helpers.
+
+// loadTunnelRTO returns the remembered backed-off timeout for a tunnel
+// (zero when none is stored).
+func (e *NetEngine) loadTunnelRTO(key id.ID) simnet.Time {
+	e.rtoMu.Lock()
+	v := e.tunnelRTO[key]
+	e.rtoMu.Unlock()
+	return v
+}
+
+// storeTunnelRTO records a backed-off timeout observed on a tunnel.
+func (e *NetEngine) storeTunnelRTO(key id.ID, rto simnet.Time) {
+	e.rtoMu.Lock()
+	e.tunnelRTO[key] = rto
+	e.rtoMu.Unlock()
+}
+
+// dropTunnelRTO forgets a tunnel's backoff memory (the tunnel proved
+// healthy).
+func (e *NetEngine) dropTunnelRTO(key id.ID) {
+	e.rtoMu.Lock()
+	delete(e.tunnelRTO, key)
+	e.rtoMu.Unlock()
+}
+
+// relaxTunnelRTO eases a tunnel's backoff memory after a delivery: a
+// first-attempt success clears it outright, a delivery that needed
+// retransmits halves it, dropping the entry once it decays to the floor.
+func (e *NetEngine) relaxTunnelRTO(key id.ID, firstAttempt bool, minRTO simnet.Time) {
+	e.rtoMu.Lock()
+	defer e.rtoMu.Unlock()
+	if firstAttempt {
+		delete(e.tunnelRTO, key)
+		return
+	}
+	stored, ok := e.tunnelRTO[key]
+	if !ok {
+		return
+	}
+	if stored /= 2; stored <= minRTO {
+		delete(e.tunnelRTO, key)
+	} else {
+		e.tunnelRTO[key] = stored
+	}
+}
+
 // markStaleHint records a dead-end hint; hintStale queries it. Entries
 // never expire: a hop anchor that migrates back to a previously-stale
 // address is still reached via DHT routing, just without the shortcut.
@@ -194,7 +245,7 @@ func (e *NetEngine) startReliable(flow uint64, origin simnet.Addr, size int, opt
 	if len(opts.Hops) > 0 {
 		st.backoffKey = opts.Hops[0]
 		st.hasBackoffKey = true
-		if stored := e.tunnelRTO[st.backoffKey]; stored > st.rto {
+		if stored := e.loadTunnelRTO(st.backoffKey); stored > st.rto {
 			st.rto = stored
 		}
 	}
@@ -206,7 +257,7 @@ func (e *NetEngine) startReliable(flow uint64, origin simnet.Addr, size int, opt
 // the given size: ExpectHops store-and-forward hops, each paying full
 // serialization plus the worst-case link latency, scaled by RTOScale.
 func (e *NetEngine) initialRTO(size int) simnet.Time {
-	perHop := e.net.Link.Serialization(size) + e.net.Link.MaxLatency
+	perHop := e.net.Serialization(size) + e.net.MaxLatency()
 	rto := simnet.Time(float64(int64(perHop)*int64(e.rel.ExpectHops)) * e.rel.RTOScale)
 	if rto < e.rel.MinRTO {
 		rto = e.rel.MinRTO
@@ -235,7 +286,7 @@ func (e *NetEngine) armTimer(flow uint64, st *flowState) {
 	if j := e.rel.JitterFrac; j > 0 {
 		wait = simnet.Time(float64(wait) * (1 + j*(2*e.jitter.Float64()-1)))
 	}
-	e.net.Kernel.Schedule(wait, func() {
+	e.net.Schedule(wait, func() {
 		cur, ok := e.flows[flow]
 		if !ok || cur.gen != gen {
 			return
@@ -248,7 +299,7 @@ func (e *NetEngine) armTimer(flow uint64, st *flowState) {
 		if cur.hasBackoffKey {
 			// Per-tunnel backoff memory: later flows over this tunnel
 			// start from the backed-off timeout instead of resetting it.
-			e.tunnelRTO[cur.backoffKey] = cur.rto
+			e.storeTunnelRTO(cur.backoffKey, cur.rto)
 		}
 		if !cur.hintsInvalidated && cur.attempts >= e.rel.HintInvalidateAfter {
 			// Repeated RTO expiry: every retransmission is dying
@@ -333,19 +384,10 @@ func (e *NetEngine) handleAck(p *packet) {
 	delete(e.flows, p.flow)
 	delete(e.pending, p.flow)
 	if st.hasBackoffKey {
-		if st.attempts == 1 {
-			// A first-attempt delivery proves the tunnel healthy again:
-			// drop its backoff memory.
-			delete(e.tunnelRTO, st.backoffKey)
-		} else if stored, ok := e.tunnelRTO[st.backoffKey]; ok {
-			// Delivered, but only after retransmits: decay rather than
-			// reset, so a marginal tunnel keeps some caution.
-			if stored /= 2; stored <= e.rel.MinRTO {
-				delete(e.tunnelRTO, st.backoffKey)
-			} else {
-				e.tunnelRTO[st.backoffKey] = stored
-			}
-		}
+		// Delivered on the first attempt: the tunnel proved healthy, drop
+		// its backoff memory. Delivered after retransmits: decay rather
+		// than reset, so a marginal tunnel keeps some caution.
+		e.relaxTunnelRTO(st.backoffKey, st.attempts == 1, e.rel.MinRTO)
 	}
 	cb := e.done[p.flow]
 	delete(e.done, p.flow)

@@ -258,7 +258,7 @@ func (e *NetEngine) openStream(origin simnet.Addr, dest id.ID, hint simnet.Addr,
 		// Per-tunnel backoff memory: a stream over a tunnel that recently
 		// proved lossy inherits the backed-off timeout instead of
 		// resetting it and hammering the same loss.
-		if stored := e.tunnelRTO[s.tunKey]; stored > s.rto {
+		if stored := e.loadTunnelRTO(s.tunKey); stored > s.rto {
 			s.rto = stored
 		}
 	}
@@ -417,7 +417,7 @@ func (s *Stream) schedTimer(at simnet.Time) {
 		return // the pending event fires early enough; it will re-arm
 	}
 	s.timerAt = at
-	s.eng.net.Kernel.Schedule(at-s.eng.net.Now(), s.timerFn)
+	s.eng.net.Schedule(at-s.eng.net.Now(), s.timerFn)
 }
 
 // onTimerEvent is the single retransmit-timer callback.
@@ -456,7 +456,7 @@ func (s *Stream) onTimeout(now simnet.Time) {
 	if s.hasTunKey {
 		// Remember the backed-off timeout for this tunnel so new streams
 		// and flows over it start from reality, not from scratch.
-		s.eng.tunnelRTO[s.tunKey] = s.rto
+		s.eng.storeTunnelRTO(s.tunKey, s.rto)
 	}
 	if s.backoffCount == streamHintInvalidateAfter && s.tun != nil {
 		// Repeated expiry: stop trusting the cached hop addresses.
@@ -549,7 +549,7 @@ func (s *Stream) complete() {
 	delete(s.eng.sendStreams, s.id)
 	if s.hasTunKey && s.SegsRetx == 0 {
 		// A clean run over this tunnel: drop the backoff memory.
-		delete(s.eng.tunnelRTO, s.tunKey)
+		s.eng.dropTunnelRTO(s.tunKey)
 	}
 	if s.OnComplete != nil {
 		s.OnComplete(true)

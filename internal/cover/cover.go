@@ -101,5 +101,5 @@ func (g *Generator) scheduleNext(from simnet.Addr, delay time.Duration, deadline
 // mix this into the node's demultiplexer; experiments attach it to nodes
 // that only participate as cover sinks.
 func DiscardHandler() simnet.Handler {
-	return simnet.HandlerFunc(func(*simnet.Network, simnet.Addr, simnet.Message) {})
+	return simnet.HandlerFunc(func(simnet.Addr, simnet.Message) {})
 }

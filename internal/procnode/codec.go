@@ -1,0 +1,163 @@
+// Package procnode is the overlay node for the real-process deployment
+// mode: the engine a tapnode process runs on top of tcptransport.
+//
+// It reuses the simulator's onion cryptography — the tunnel hop anchors
+// of internal/tha and the layered envelopes of internal/core — but none
+// of its oracles. Where a simulated hop consults the global directory,
+// a procnode holds only the anchors initiators deployed to it; where the
+// simulated engine routes with the Pastry overlay, a procnode follows
+// the §5 address hints baked into each onion layer, falling back to a
+// full-membership node-ID index (fed by the bulletin board) only to
+// resolve exit destinations and the reply tail. That is the optimized
+// mode of the paper with the bootstrap oracle made explicit.
+package procnode
+
+import (
+	"fmt"
+
+	"tap/internal/core"
+	"tap/internal/id"
+	"tap/internal/tha"
+	"tap/internal/transport"
+	"tap/internal/wire"
+)
+
+// Frame kinds of the node-to-node protocol.
+const (
+	kindAnchor    = 1 // install a tunnel hop anchor
+	kindAnchorAck = 2 // confirm an installation
+	kindForward   = 3 // a forward-tunnel envelope (core.Envelope)
+	kindReply     = 4 // a reply-tunnel envelope (core.ReplyEnvelope)
+	kindData      = 5 // an exit payload en route to its destination node
+)
+
+// AnchorMsg deploys one anchor <hopid, K, H(PW)> onto the receiving
+// node. In the simulator this is a PAST replica insert; here the
+// initiator addresses the holder directly.
+type AnchorMsg struct {
+	Anchor tha.Anchor
+}
+
+// SizeBytes implements transport.Message.
+func (m *AnchorMsg) SizeBytes() int { return tha.WireSize }
+
+// AnchorAck confirms an anchor installation, closing the
+// deploy-before-use race: initiators wait for every hop's ack before
+// sending traffic through a tunnel.
+type AnchorAck struct {
+	HopID id.ID
+}
+
+// SizeBytes implements transport.Message.
+func (m *AnchorAck) SizeBytes() int { return id.Size }
+
+// DataMsg carries an exit payload from the tunnel's exit hop to the
+// destination node named inside the innermost layer.
+type DataMsg struct {
+	Dest    id.ID
+	Payload []byte
+}
+
+// SizeBytes implements transport.Message.
+func (m *DataMsg) SizeBytes() int { return id.Size + len(m.Payload) }
+
+// Codec frames the procnode message set for tcptransport. All decoded
+// messages own their buffers (the transport's read buffer is reused).
+type Codec struct{}
+
+// Encode implements tcptransport.Codec.
+func (Codec) Encode(msg transport.Message) (byte, []byte, error) {
+	switch m := msg.(type) {
+	case *AnchorMsg:
+		w := wire.NewWriter(tha.WireSize + 8)
+		w.ID(m.Anchor.HopID)
+		w.Blob(m.Anchor.Key[:])
+		w.Blob(m.Anchor.PWHash[:])
+		return kindAnchor, w.Bytes(), nil
+	case *AnchorAck:
+		w := wire.NewWriter(id.Size)
+		w.ID(m.HopID)
+		return kindAnchorAck, w.Bytes(), nil
+	case *core.Envelope:
+		w := wire.NewWriter(m.SizeBytes() + 16)
+		w.ID(m.HopID)
+		w.Int64(int64(m.Hint))
+		w.Blob(m.Sealed)
+		w.Uint32(uint32(m.Pad))
+		return kindForward, w.Bytes(), nil
+	case *core.ReplyEnvelope:
+		w := wire.NewWriter(m.SizeBytes() + 24)
+		w.ID(m.Target)
+		w.Int64(int64(m.Hint))
+		w.Blob(m.Onion)
+		w.Blob(m.Data)
+		w.Uint32(uint32(m.Pad))
+		return kindReply, w.Bytes(), nil
+	case *DataMsg:
+		w := wire.NewWriter(id.Size + len(m.Payload) + 8)
+		w.ID(m.Dest)
+		w.Blob(m.Payload)
+		return kindData, w.Bytes(), nil
+	default:
+		return 0, nil, fmt.Errorf("procnode: cannot encode %T", msg)
+	}
+}
+
+// Decode implements tcptransport.Codec.
+func (Codec) Decode(kind byte, payload []byte) (transport.Message, error) {
+	r := wire.NewReader(payload)
+	switch kind {
+	case kindAnchor:
+		var m AnchorMsg
+		m.Anchor.HopID = r.ID()
+		copy(m.Anchor.Key[:], r.Blob())
+		copy(m.Anchor.PWHash[:], r.Blob())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("procnode: anchor: %w", err)
+		}
+		return &m, nil
+	case kindAnchorAck:
+		m := &AnchorAck{HopID: r.ID()}
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("procnode: anchor ack: %w", err)
+		}
+		return m, nil
+	case kindForward:
+		var m core.Envelope
+		m.HopID = r.ID()
+		m.Hint = transport.Addr(r.Int64())
+		m.Sealed = append([]byte(nil), r.Blob()...)
+		m.Pad = int(r.Uint32())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("procnode: forward envelope: %w", err)
+		}
+		return &m, nil
+	case kindReply:
+		var m core.ReplyEnvelope
+		m.Target = r.ID()
+		m.Hint = transport.Addr(r.Int64())
+		m.Onion = append([]byte(nil), r.Blob()...)
+		m.Data = append([]byte(nil), r.Blob()...)
+		m.Pad = int(r.Uint32())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("procnode: reply envelope: %w", err)
+		}
+		return &m, nil
+	case kindData:
+		m := &DataMsg{Dest: r.ID()}
+		m.Payload = append([]byte(nil), r.Blob()...)
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("procnode: data: %w", err)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("procnode: unknown frame kind %d", kind)
+	}
+}
+
+// compile-time interface checks for the message set
+var (
+	_ transport.Message = (*AnchorMsg)(nil)
+	_ transport.Message = (*AnchorAck)(nil)
+	_ transport.Message = (*DataMsg)(nil)
+)

@@ -11,9 +11,9 @@ func TestUplinkContentionSerializesSends(t *testing.T) {
 	net.UplinkContention = true
 	const size = 150_000 // 0.8 s serialization at 1.5 Mb/s
 	var t1, t2 Time
-	net.Attach(0, HandlerFunc(func(*Network, Addr, Message) {}))
-	net.Attach(1, HandlerFunc(func(*Network, Addr, Message) { t1 = k.Now() }))
-	net.Attach(2, HandlerFunc(func(*Network, Addr, Message) { t2 = k.Now() }))
+	net.Attach(0, HandlerFunc(func(Addr, Message) {}))
+	net.Attach(1, HandlerFunc(func(Addr, Message) { t1 = k.Now() }))
+	net.Attach(2, HandlerFunc(func(Addr, Message) { t2 = k.Now() }))
 	net.Send(0, 1, testMsg{size: size})
 	net.Send(0, 2, testMsg{size: size})
 	if err := k.Run(); err != nil {
@@ -38,8 +38,8 @@ func TestUplinkContentionIdleLinkNoPenalty(t *testing.T) {
 	net.UplinkContention = true
 	const size = 1000
 	var at Time
-	net.Attach(0, HandlerFunc(func(*Network, Addr, Message) {}))
-	net.Attach(1, HandlerFunc(func(*Network, Addr, Message) { at = k.Now() }))
+	net.Attach(0, HandlerFunc(func(Addr, Message) {}))
+	net.Attach(1, HandlerFunc(func(Addr, Message) { at = k.Now() }))
 	k.Schedule(time.Second, func() { net.Send(0, 1, testMsg{size: size}) })
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -57,10 +57,10 @@ func TestUplinkContentionDistinctSources(t *testing.T) {
 	net.UplinkContention = true
 	const size = 150_000
 	var t1, t2 Time
-	net.Attach(0, HandlerFunc(func(*Network, Addr, Message) {}))
-	net.Attach(1, HandlerFunc(func(*Network, Addr, Message) {}))
-	net.Attach(2, HandlerFunc(func(*Network, Addr, Message) { t1 = k.Now() }))
-	net.Attach(3, HandlerFunc(func(*Network, Addr, Message) { t2 = k.Now() }))
+	net.Attach(0, HandlerFunc(func(Addr, Message) {}))
+	net.Attach(1, HandlerFunc(func(Addr, Message) {}))
+	net.Attach(2, HandlerFunc(func(Addr, Message) { t1 = k.Now() }))
+	net.Attach(3, HandlerFunc(func(Addr, Message) { t2 = k.Now() }))
 	net.Send(0, 2, testMsg{size: size})
 	net.Send(1, 3, testMsg{size: size})
 	if err := k.Run(); err != nil {
@@ -76,9 +76,9 @@ func TestContentionOffUnchanged(t *testing.T) {
 	net := NewNetwork(k, DefaultLinkModel(6), 3)
 	const size = 150_000
 	var t1, t2 Time
-	net.Attach(0, HandlerFunc(func(*Network, Addr, Message) {}))
-	net.Attach(1, HandlerFunc(func(*Network, Addr, Message) { t1 = k.Now() }))
-	net.Attach(2, HandlerFunc(func(*Network, Addr, Message) { t2 = k.Now() }))
+	net.Attach(0, HandlerFunc(func(Addr, Message) {}))
+	net.Attach(1, HandlerFunc(func(Addr, Message) { t1 = k.Now() }))
+	net.Attach(2, HandlerFunc(func(Addr, Message) { t2 = k.Now() }))
 	net.Send(0, 1, testMsg{size: size})
 	net.Send(0, 2, testMsg{size: size})
 	if err := k.Run(); err != nil {

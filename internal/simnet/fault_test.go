@@ -13,7 +13,7 @@ func faultNet(t *testing.T, plan *FaultPlan) (*Kernel, *Network, []int) {
 	got := make([]int, 4)
 	for a := 0; a < 4; a++ {
 		a := a
-		net.Attach(Addr(a), HandlerFunc(func(*Network, Addr, Message) { got[a]++ }))
+		net.Attach(Addr(a), HandlerFunc(func(Addr, Message) { got[a]++ }))
 	}
 	net.InstallFaults(plan)
 	return k, net, got
@@ -74,7 +74,7 @@ func TestFaultLatencySpikeDelays(t *testing.T) {
 	})
 	var arrived Time
 	net.Detach(1)
-	net.Attach(1, HandlerFunc(func(*Network, Addr, Message) { arrived = k.Now() }))
+	net.Attach(1, HandlerFunc(func(Addr, Message) { arrived = k.Now() }))
 	net.Send(0, 1, testMsg{size: 100})
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -140,9 +140,9 @@ func TestDetachClearsUplinkHorizon(t *testing.T) {
 	k := NewKernel()
 	net := NewNetwork(k, DefaultLinkModel(9), 3)
 	net.UplinkContention = true
-	net.Attach(0, HandlerFunc(func(*Network, Addr, Message) {}))
+	net.Attach(0, HandlerFunc(func(Addr, Message) {}))
 	arrivals := make(map[int]Time)
-	net.Attach(1, HandlerFunc(func(_ *Network, _ Addr, m Message) {
+	net.Attach(1, HandlerFunc(func(_ Addr, m Message) {
 		arrivals[m.SizeBytes()] = k.Now()
 	}))
 
@@ -151,7 +151,7 @@ func TestDetachClearsUplinkHorizon(t *testing.T) {
 	// the stale uplink-busy horizon.
 	net.Send(0, 1, testMsg{size: 10_000_000}) // ~53 s of serialization
 	net.Detach(0)
-	net.Attach(0, HandlerFunc(func(*Network, Addr, Message) {}))
+	net.Attach(0, HandlerFunc(func(Addr, Message) {}))
 	net.Send(0, 1, testMsg{size: 100})
 	if err := k.Run(); err != nil {
 		t.Fatal(err)

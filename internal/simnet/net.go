@@ -5,38 +5,32 @@ import (
 	"time"
 
 	"tap/internal/rng"
+	"tap/internal/transport"
 )
 
 // Addr is a network address — the simulator's stand-in for an IP address.
 // Addresses are small dense integers so the link model can hash pairs
-// cheaply; address 0 is valid.
-type Addr int
+// cheaply; address 0 is valid. The type (like Message, Handler, and Time)
+// is the shared transport-seam primitive: simnet re-exports it so the
+// simulator and the real TCP transport speak one vocabulary.
+type Addr = transport.Addr
 
 // NoAddr marks "no address known", used by IP-hint fields in optimized
 // tunnel messages.
-const NoAddr Addr = -1
+const NoAddr = transport.NoAddr
 
 // Message is anything deliverable over the simulated network. SizeBytes
 // drives the serialization delay; implementations report their wire size
 // rather than actually marshaling on the hot path.
-type Message interface {
-	SizeBytes() int
-}
+type Message = transport.Message
 
-// Handler receives messages addressed to a node.
-type Handler interface {
-	// Deliver is invoked by the event loop when a message arrives. from is
-	// the immediate network-level sender (the previous hop, not the
-	// originator). Implementations run synchronously on the event loop and
-	// must schedule, not block.
-	Deliver(net *Network, from Addr, msg Message)
-}
+// Handler receives messages addressed to a node. Deliver is invoked by
+// the event loop when a message arrives; implementations run synchronously
+// on the event loop and must schedule, not block.
+type Handler = transport.Handler
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(net *Network, from Addr, msg Message)
-
-// Deliver calls f.
-func (f HandlerFunc) Deliver(net *Network, from Addr, msg Message) { f(net, from, msg) }
+type HandlerFunc = transport.HandlerFunc
 
 // LinkModel computes per-hop delays.
 type LinkModel struct {
@@ -267,11 +261,25 @@ func (n *Network) arrive(src, dst Addr, msg Message) {
 		return
 	}
 	n.Stats.MessagesDelivered++
-	h.Deliver(n, src, msg)
+	h.Deliver(src, msg)
 }
 
 // Now exposes the kernel clock, saving callers a dereference.
 func (n *Network) Now() Time { return n.Kernel.Now() }
+
+// Schedule files fn onto the kernel's event queue after delay, satisfying
+// transport.Clock without handing callers the whole kernel.
+func (n *Network) Schedule(delay Time, fn func()) { n.Kernel.Schedule(delay, fn) }
+
+// Serialization estimates the time to clock size bytes onto a link.
+func (n *Network) Serialization(size int) Time { return n.Link.Serialization(size) }
+
+// MaxLatency bounds the one-way propagation delay of any link.
+func (n *Network) MaxLatency() Time { return n.Link.MaxLatency }
+
+// The simulated network is the deterministic Transport implementation;
+// internal/transport/simtransport documents the pairing.
+var _ transport.Transport = (*Network)(nil)
 
 // --- partitions -------------------------------------------------------------
 

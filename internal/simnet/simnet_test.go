@@ -188,10 +188,10 @@ func TestNetworkDelivery(t *testing.T) {
 	var got Message
 	var from Addr
 	var at Time
-	net.Attach(1, HandlerFunc(func(_ *Network, f Addr, m Message) {
+	net.Attach(1, HandlerFunc(func(f Addr, m Message) {
 		got, from, at = m, f, k.Now()
 	}))
-	net.Attach(0, HandlerFunc(func(_ *Network, _ Addr, _ Message) {}))
+	net.Attach(0, HandlerFunc(func(_ Addr, _ Message) {}))
 	msg := testMsg{size: 1000}
 	net.Send(0, 1, msg)
 	if err := k.Run(); err != nil {
@@ -212,7 +212,7 @@ func TestNetworkDelivery(t *testing.T) {
 func TestNetworkDropsToDetached(t *testing.T) {
 	k := NewKernel()
 	net := NewNetwork(k, DefaultLinkModel(7), 4)
-	net.Attach(0, HandlerFunc(func(_ *Network, _ Addr, _ Message) {}))
+	net.Attach(0, HandlerFunc(func(_ Addr, _ Message) {}))
 	dropped := 0
 	net.DropHook = func(_, to Addr, _ Message) {
 		if to != 2 {
@@ -232,9 +232,9 @@ func TestNetworkDropsToDetached(t *testing.T) {
 func TestNetworkDetachMidFlight(t *testing.T) {
 	k := NewKernel()
 	net := NewNetwork(k, DefaultLinkModel(7), 4)
-	net.Attach(0, HandlerFunc(func(_ *Network, _ Addr, _ Message) {}))
+	net.Attach(0, HandlerFunc(func(_ Addr, _ Message) {}))
 	delivered := false
-	net.Attach(1, HandlerFunc(func(_ *Network, _ Addr, _ Message) { delivered = true }))
+	net.Attach(1, HandlerFunc(func(_ Addr, _ Message) { delivered = true }))
 	net.Send(0, 1, testMsg{size: 10})
 	// Detach before the message arrives.
 	k.Schedule(0, func() { net.Detach(1) })
@@ -256,10 +256,10 @@ func TestNetworkRelayChainTiming(t *testing.T) {
 	net := NewNetwork(k, DefaultLinkModel(9), 4)
 	const size = 250000
 	var done Time
-	net.Attach(0, HandlerFunc(func(_ *Network, _ Addr, _ Message) {}))
-	net.Attach(1, HandlerFunc(func(n *Network, _ Addr, m Message) { n.Send(1, 2, m) }))
-	net.Attach(2, HandlerFunc(func(n *Network, _ Addr, m Message) { n.Send(2, 3, m) }))
-	net.Attach(3, HandlerFunc(func(_ *Network, _ Addr, _ Message) { done = k.Now() }))
+	net.Attach(0, HandlerFunc(func(_ Addr, _ Message) {}))
+	net.Attach(1, HandlerFunc(func(_ Addr, m Message) { net.Send(1, 2, m) }))
+	net.Attach(2, HandlerFunc(func(_ Addr, m Message) { net.Send(2, 3, m) }))
+	net.Attach(3, HandlerFunc(func(_ Addr, _ Message) { done = k.Now() }))
 	net.Send(0, 1, testMsg{size: size})
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
@@ -277,13 +277,13 @@ func TestNetworkGrowAndReattach(t *testing.T) {
 	if net.Attached(2) {
 		t.Fatalf("grown address should start detached")
 	}
-	net.Attach(2, HandlerFunc(func(_ *Network, _ Addr, _ Message) {}))
+	net.Attach(2, HandlerFunc(func(_ Addr, _ Message) {}))
 	if !net.Attached(2) {
 		t.Fatalf("attach after grow failed")
 	}
 	net.Detach(2)
 	// Re-attaching a detached address models a rejoining node.
-	net.Attach(2, HandlerFunc(func(_ *Network, _ Addr, _ Message) {}))
+	net.Attach(2, HandlerFunc(func(_ Addr, _ Message) {}))
 	if !net.Attached(2) {
 		t.Fatalf("re-attach failed")
 	}
@@ -292,13 +292,13 @@ func TestNetworkGrowAndReattach(t *testing.T) {
 func TestNetworkAttachTwicePanics(t *testing.T) {
 	k := NewKernel()
 	net := NewNetwork(k, DefaultLinkModel(7), 2)
-	net.Attach(0, HandlerFunc(func(_ *Network, _ Addr, _ Message) {}))
+	net.Attach(0, HandlerFunc(func(_ Addr, _ Message) {}))
 	defer func() {
 		if recover() == nil {
 			t.Fatalf("expected panic on double attach")
 		}
 	}()
-	net.Attach(0, HandlerFunc(func(_ *Network, _ Addr, _ Message) {}))
+	net.Attach(0, HandlerFunc(func(_ Addr, _ Message) {}))
 }
 
 func TestDeterministicReplay(t *testing.T) {
@@ -308,10 +308,10 @@ func TestDeterministicReplay(t *testing.T) {
 		var last Time
 		for a := Addr(0); a < 10; a++ {
 			a := a
-			net.Attach(a, HandlerFunc(func(n *Network, _ Addr, m Message) {
+			net.Attach(a, HandlerFunc(func(_ Addr, m Message) {
 				last = k.Now()
 				if a+1 < 10 {
-					n.Send(a, a+1, m)
+					net.Send(a, a+1, m)
 				}
 			}))
 		}

@@ -1,0 +1,29 @@
+// Package simtransport pairs the deterministic discrete-event emulator
+// with the transport seam.
+//
+// simnet.Network implements transport.Transport directly — its clock is
+// the simulated kernel clock, Schedule files events into the calendar
+// queue, and Send applies the link model, fault plans, and partitions.
+// This package exists to make the pairing explicit and checked: engines
+// that want to be deliberate about which medium they run on construct
+// their transport here, and the compile-time assertion below is the
+// contract that the emulator keeps satisfying the seam as both evolve.
+//
+// Behavior through this adapter is bit-for-bit identical to handing the
+// engine the *simnet.Network itself (it is the same value); the golden
+// route/state traces in internal/pastry and the dst scenario traces pin
+// that equivalence.
+package simtransport
+
+import (
+	"tap/internal/simnet"
+	"tap/internal/transport"
+)
+
+// New returns net as a transport.Transport. The returned value is net
+// itself — no wrapping, no indirection — so deterministic behavior is
+// preserved exactly.
+func New(net *simnet.Network) transport.Transport { return net }
+
+// The emulator must keep satisfying the seam.
+var _ transport.Transport = (*simnet.Network)(nil)

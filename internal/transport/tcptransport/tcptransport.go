@@ -1,0 +1,564 @@
+// Package tcptransport implements the transport seam over real TCP
+// connections between OS processes.
+//
+// Where the simulator models a link, this package opens one: every
+// message is encoded by an application-supplied Codec, framed with
+// internal/wire's length-prefixed magic/version header, and written to a
+// per-peer TCP connection that is dialed on first use and reused for the
+// peer's lifetime. Addresses stay the seam's small dense integers; a peer
+// table maps each to a host:port, fed by the bulletin board
+// (internal/board) in a deployment.
+//
+// Concurrency model. The transport preserves the seam's contract that
+// engine callbacks never run concurrently: message deliveries, Schedule
+// callbacks, and watcher notifications are all funneled through a single
+// dispatch goroutine (the "loop"). Socket I/O lives on its own
+// goroutines — one reader per accepted connection, one writer per dialed
+// peer — so a slow peer never stalls the loop; a full outbound queue
+// drops messages instead, which is exactly the unreliable-send semantics
+// the seam promises and the layers above already recover from.
+//
+// Dialing goes through the Dialer seam: the default is a net.Dialer with
+// Config.DialTimeout, and tests (or an onion-routed deployment wrapping
+// connections in another transport) inject their own — the same
+// wrapper-with-transparent-fallback shape as a TorDialer around a node
+// dialer.
+package tcptransport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tap/internal/transport"
+	"tap/internal/wire"
+)
+
+// Codec translates between engine messages and frame payloads. Encode
+// returns the frame kind and payload for a message; Decode reverses it.
+// The payload slice passed to Decode aliases the connection's read
+// buffer and is valid only for the duration of the call — implementations
+// copy what they keep.
+type Codec interface {
+	Encode(msg transport.Message) (kind byte, payload []byte, err error)
+	Decode(kind byte, payload []byte) (transport.Message, error)
+}
+
+// Dialer is the connection-establishment seam. The zero Config uses a
+// net.Dialer bounded by DialTimeout; tests inject failing or in-memory
+// dialers, and a hardened deployment can wrap connections in another
+// transport without this package knowing.
+type Dialer interface {
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+}
+
+// Config tunes a Transport. The zero value of every field has a usable
+// default.
+type Config struct {
+	// Codec is required: it defines the message set on the wire.
+	Codec Codec
+	// DialTimeout bounds each connection attempt. Default 3s.
+	DialTimeout time.Duration
+	// LatencyCeiling is what MaxLatency reports — a coarse upper bound
+	// used only to seed retransmit-timeout estimates. Default 200ms.
+	LatencyCeiling time.Duration
+	// BandwidthBitsPerSec, when positive, makes Serialization report
+	// size*8/bandwidth; zero reports no serialization delay (TCP's own
+	// pacing governs).
+	BandwidthBitsPerSec int64
+	// SendQueue is the per-peer outbound queue depth; a full queue drops
+	// (unreliable-send semantics). Default 256.
+	SendQueue int
+	// Dialer overrides connection establishment. Default: net.Dialer
+	// with DialTimeout.
+	Dialer Dialer
+	// Logf, when non-nil, receives diagnostic messages (dial failures,
+	// decode errors). Default: silent.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts transport-level activity. Fields are atomics: readers use
+// the Load methods.
+type Stats struct {
+	Sent      atomic.Uint64 // messages handed to Send
+	Delivered atomic.Uint64 // messages handed to a local handler
+	Dropped   atomic.Uint64 // messages lost: unknown peer, full queue, dead conn, no handler
+	Dials     atomic.Uint64 // connection attempts
+	DialFails atomic.Uint64 // failed connection attempts
+	BytesSent atomic.Uint64 // framed bytes written
+}
+
+// peer is one outbound neighbor: its queue and writer goroutine.
+type peer struct {
+	hostport string
+	out      chan []byte
+}
+
+// Transport carries messages over TCP. Construct with New, then Listen
+// (to accept inbound traffic) and SetPeer (to name outbound neighbors).
+type Transport struct {
+	cfg   Config
+	start time.Time
+	Stats Stats
+
+	events chan func()
+	quit   chan struct{}
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	handlers map[transport.Addr]transport.Handler
+	peers    map[transport.Addr]string
+	conns    map[transport.Addr]*peer
+	down     map[transport.Addr]bool
+	watchers []func(addr transport.Addr, up bool)
+	ln       net.Listener
+	closed   bool
+}
+
+// New returns a transport ready for Listen/SetPeer. Call Close when done.
+func New(cfg Config) *Transport {
+	if cfg.Codec == nil {
+		panic("tcptransport: Config.Codec is required")
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.LatencyCeiling == 0 {
+		cfg.LatencyCeiling = 200 * time.Millisecond
+	}
+	if cfg.SendQueue == 0 {
+		cfg.SendQueue = 256
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = &net.Dialer{Timeout: cfg.DialTimeout}
+	}
+	t := &Transport{
+		cfg:      cfg,
+		start:    time.Now(),
+		events:   make(chan func(), 1024),
+		quit:     make(chan struct{}),
+		handlers: make(map[transport.Addr]transport.Handler),
+		peers:    make(map[transport.Addr]string),
+		conns:    make(map[transport.Addr]*peer),
+		down:     make(map[transport.Addr]bool),
+	}
+	t.wg.Add(1)
+	go t.loop()
+	return t
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// loop is the single dispatch goroutine: every handler invocation,
+// Schedule callback, and watcher notification runs here, serialized.
+func (t *Transport) loop() {
+	defer t.wg.Done()
+	for {
+		select {
+		case fn := <-t.events:
+			fn()
+		case <-t.quit:
+			// Drain whatever is already queued, then stop.
+			for {
+				select {
+				case fn := <-t.events:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// enqueue files fn onto the dispatch loop; after Close it is dropped.
+func (t *Transport) enqueue(fn func()) {
+	select {
+	case t.events <- fn:
+	case <-t.quit:
+	}
+}
+
+// Listen starts accepting inbound connections on hostport (e.g.
+// "127.0.0.1:0") and returns the bound address.
+func (t *Transport) Listen(hostport string) (string, error) {
+	ln, err := net.Listen("tcp", hostport)
+	if err != nil {
+		return "", fmt.Errorf("tcptransport: listen %s: %w", hostport, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("tcptransport: transport closed")
+	}
+	t.ln = ln
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (t *Transport) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection and dispatches
+// them. The frame payload is [src:8][dst:8][codec payload].
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	go func() {
+		// Tear the connection down when the transport closes, so the
+		// blocking ReadFrame returns.
+		<-t.quit
+		conn.Close()
+	}()
+	buf := make([]byte, 64<<10)
+	for {
+		kind, payload, err := wire.ReadFrame(conn, buf)
+		if err != nil {
+			return
+		}
+		if len(payload) < 16 {
+			t.logf("tcptransport: runt frame (%d bytes) from %s", len(payload), conn.RemoteAddr())
+			return
+		}
+		src := transport.Addr(int64(binary.BigEndian.Uint64(payload[0:8])))
+		dst := transport.Addr(int64(binary.BigEndian.Uint64(payload[8:16])))
+		msg, err := t.cfg.Codec.Decode(kind, payload[16:])
+		if err != nil {
+			t.logf("tcptransport: decode kind %d from %s: %v", kind, conn.RemoteAddr(), err)
+			continue
+		}
+		t.deliverLocal(src, dst, msg)
+	}
+}
+
+// deliverLocal routes a decoded (or loopback) message to dst's handler on
+// the dispatch loop.
+func (t *Transport) deliverLocal(src, dst transport.Addr, msg transport.Message) {
+	t.enqueue(func() {
+		t.mu.Lock()
+		h := t.handlers[dst]
+		t.mu.Unlock()
+		if h == nil {
+			t.Stats.Dropped.Add(1)
+			return
+		}
+		t.Stats.Delivered.Add(1)
+		h.Deliver(src, msg)
+	})
+}
+
+// --- transport.Transport ----------------------------------------------------
+
+// Now returns the time since the transport's construction — the wall
+// clock rebased to a process-local epoch, mirroring the simulator's
+// "duration since start" convention.
+func (t *Transport) Now() transport.Time { return time.Since(t.start) }
+
+// Schedule runs fn after delay on the dispatch loop, serialized with
+// message deliveries.
+func (t *Transport) Schedule(delay transport.Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	time.AfterFunc(delay, func() { t.enqueue(fn) })
+}
+
+// Send encodes and transmits msg. Local destinations (an attached
+// handler in this process) short-circuit through the dispatch loop
+// without touching a socket, so one process can host several addresses —
+// the integration tests and single-binary demos rely on that.
+func (t *Transport) Send(src, dst transport.Addr, msg transport.Message) {
+	t.Stats.Sent.Add(1)
+	t.mu.Lock()
+	_, local := t.handlers[dst]
+	t.mu.Unlock()
+	if local {
+		t.deliverLocal(src, dst, msg)
+		return
+	}
+	kind, payload, err := t.cfg.Codec.Encode(msg)
+	if err != nil {
+		t.logf("tcptransport: encode to %d: %v", dst, err)
+		t.Stats.Dropped.Add(1)
+		return
+	}
+	body := make([]byte, 0, 16+len(payload))
+	body = binary.BigEndian.AppendUint64(body, uint64(int64(src)))
+	body = binary.BigEndian.AppendUint64(body, uint64(int64(dst)))
+	body = append(body, payload...)
+	frame := wire.AppendFrame(nil, kind, body)
+
+	p := t.peerFor(dst)
+	if p == nil {
+		t.Stats.Dropped.Add(1)
+		return
+	}
+	select {
+	case p.out <- frame:
+	default:
+		// Full queue: the peer is slower than we produce. Drop, as an
+		// overloaded link would.
+		t.Stats.Dropped.Add(1)
+	}
+}
+
+// peerFor returns the live peer record for dst, creating its queue and
+// writer goroutine on first use (the connection itself is dialed by the
+// writer). Unknown destinations return nil.
+func (t *Transport) peerFor(dst transport.Addr) *peer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if p := t.conns[dst]; p != nil {
+		return p
+	}
+	hostport, ok := t.peers[dst]
+	if !ok {
+		return nil
+	}
+	p := &peer{hostport: hostport, out: make(chan []byte, t.cfg.SendQueue)}
+	t.conns[dst] = p
+	t.wg.Add(1)
+	go t.writeLoop(dst, p)
+	return p
+}
+
+// writeLoop owns one peer's connection: dial once (per connection
+// lifetime), then drain the queue onto it. Any error tears the peer down;
+// the next Send re-creates it, so reconnection is lazy and the engine
+// above sees only message loss in between.
+func (t *Transport) writeLoop(dst transport.Addr, p *peer) {
+	defer t.wg.Done()
+	ctx, cancel := context.WithTimeout(context.Background(), t.cfg.DialTimeout)
+	t.Stats.Dials.Add(1)
+	conn, err := t.cfg.Dialer.DialContext(ctx, "tcp", p.hostport)
+	cancel()
+	if err != nil {
+		t.Stats.DialFails.Add(1)
+		t.logf("tcptransport: dial %d (%s): %v", dst, p.hostport, err)
+		t.dropPeer(dst, p, false)
+		return
+	}
+	defer conn.Close()
+	t.markUp(dst)
+	go func() {
+		<-t.quit
+		conn.Close()
+	}()
+	for frame := range p.out {
+		if _, err := conn.Write(frame); err != nil {
+			t.logf("tcptransport: write %d (%s): %v", dst, p.hostport, err)
+			t.dropPeer(dst, p, true)
+			return
+		}
+		t.Stats.BytesSent.Add(uint64(len(frame)))
+	}
+}
+
+// dropPeer removes a dead peer record, counts its queued frames as
+// drops, and marks the address down for Reachable.
+func (t *Transport) dropPeer(dst transport.Addr, p *peer, hadConn bool) {
+	t.mu.Lock()
+	if t.conns[dst] == p {
+		delete(t.conns, dst)
+	}
+	wasDown := t.down[dst]
+	t.down[dst] = true
+	watchers := t.snapshotWatchersLocked()
+	t.mu.Unlock()
+	// Drain whatever was queued behind the dead connection.
+	for {
+		select {
+		case <-p.out:
+			t.Stats.Dropped.Add(1)
+		default:
+			if !wasDown {
+				for _, fn := range watchers {
+					fn := fn
+					t.enqueue(func() { fn(dst, false) })
+				}
+			}
+			_ = hadConn
+			return
+		}
+	}
+}
+
+// snapshotWatchersLocked copies the watcher list for use outside the lock.
+func (t *Transport) snapshotWatchersLocked() []func(transport.Addr, bool) {
+	out := make([]func(transport.Addr, bool), len(t.watchers))
+	copy(out, t.watchers)
+	return out
+}
+
+// markUp clears the down flag after a successful dial and notifies
+// watchers of the recovery.
+func (t *Transport) markUp(dst transport.Addr) {
+	t.mu.Lock()
+	wasDown := t.down[dst]
+	delete(t.down, dst)
+	watchers := t.snapshotWatchersLocked()
+	t.mu.Unlock()
+	if wasDown {
+		for _, fn := range watchers {
+			fn := fn
+			t.enqueue(func() { fn(dst, true) })
+		}
+	}
+}
+
+// Attach binds h to addr. Attaching over a live handler is a programming
+// error, matching the simulator.
+func (t *Transport) Attach(addr transport.Addr, h transport.Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.handlers[addr] != nil {
+		panic(fmt.Sprintf("tcptransport: address %d already attached", addr))
+	}
+	t.handlers[addr] = h
+}
+
+// Detach removes the handler at addr.
+func (t *Transport) Detach(addr transport.Addr) {
+	t.mu.Lock()
+	delete(t.handlers, addr)
+	t.mu.Unlock()
+}
+
+// Attached reports whether addr has a live local handler.
+func (t *Transport) Attached(addr transport.Addr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.handlers[addr] != nil
+}
+
+// Reachable reports whether addr is worth dialing: it is local, or in the
+// peer table and not known-dead since its last failure. SetPeer clears
+// the dead mark, so a refreshed peer-set entry restores optimism.
+func (t *Transport) Reachable(addr transport.Addr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.handlers[addr] != nil {
+		return true
+	}
+	_, known := t.peers[addr]
+	return known && !t.down[addr]
+}
+
+// Grow is a no-op: the TCP address space is the peer table.
+func (t *Transport) Grow(n int) {}
+
+// WatchAddrs registers fn for up/down transitions observed through
+// dialing: a failed dial or dead connection reports down, a successful
+// re-dial reports up. Watchers run on the dispatch loop.
+func (t *Transport) WatchAddrs(fn func(addr transport.Addr, up bool)) {
+	t.mu.Lock()
+	t.watchers = append(t.watchers, fn)
+	t.mu.Unlock()
+}
+
+// Serialization reports the configured bandwidth estimate's clocking
+// time, or zero when none is configured.
+func (t *Transport) Serialization(size int) transport.Time {
+	if t.cfg.BandwidthBitsPerSec <= 0 || size <= 0 {
+		return 0
+	}
+	return time.Duration(int64(size) * 8 * int64(time.Second) / t.cfg.BandwidthBitsPerSec)
+}
+
+// MaxLatency reports the configured latency ceiling.
+func (t *Transport) MaxLatency() transport.Time { return t.cfg.LatencyCeiling }
+
+// --- peer table -------------------------------------------------------------
+
+// SetPeer maps addr to a host:port, replacing any previous mapping and
+// clearing a down mark. A changed mapping tears down the old connection
+// so the next send dials the new endpoint.
+func (t *Transport) SetPeer(addr transport.Addr, hostport string) {
+	t.mu.Lock()
+	prev, had := t.peers[addr]
+	t.peers[addr] = hostport
+	delete(t.down, addr)
+	var stale *peer
+	if had && prev != hostport {
+		if p := t.conns[addr]; p != nil {
+			stale = p
+			delete(t.conns, addr)
+		}
+	}
+	t.mu.Unlock()
+	if stale != nil {
+		close(stale.out)
+	}
+}
+
+// RemovePeer forgets addr. In-flight queue contents are dropped.
+func (t *Transport) RemovePeer(addr transport.Addr) {
+	t.mu.Lock()
+	delete(t.peers, addr)
+	delete(t.down, addr)
+	p := t.conns[addr]
+	delete(t.conns, addr)
+	t.mu.Unlock()
+	if p != nil {
+		close(p.out)
+	}
+}
+
+// Peers returns a snapshot of the peer table.
+func (t *Transport) Peers() map[transport.Addr]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[transport.Addr]string, len(t.peers))
+	for a, hp := range t.peers {
+		out[a] = hp
+	}
+	return out
+}
+
+// Close stops the listener, the dispatch loop, and every peer writer,
+// and waits for them to exit.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	ln := t.ln
+	conns := t.conns
+	t.conns = make(map[transport.Addr]*peer)
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, p := range conns {
+		close(p.out)
+	}
+	close(t.quit)
+	t.wg.Wait()
+}
+
+var _ transport.Transport = (*Transport)(nil)

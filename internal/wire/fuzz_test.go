@@ -41,6 +41,46 @@ func FuzzReader(f *testing.F) {
 	})
 }
 
+// FuzzFrame feeds arbitrary bytes through both frame decoders and
+// requires that they never panic, never over-read, agree with each other,
+// and that anything they accept re-encodes to the identical bytes. The
+// committed seeds cover the hostile-header cases: truncated header,
+// truncated payload, an oversized length claim, wrong magic, and a wrong
+// version.
+func FuzzFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, 1, []byte("payload")))
+	f.Add(AppendFrame(AppendFrame(nil, 1, []byte("a")), 2, []byte("b")))
+	f.Add([]byte{FrameMagic0, FrameMagic1, FrameVersion, 1, 0, 0})                   // truncated header
+	f.Add(AppendFrame(nil, 3, []byte("cut"))[:FrameHeaderSize+1])                    // truncated payload
+	f.Add([]byte{FrameMagic0, FrameMagic1, FrameVersion, 1, 0xff, 0xff, 0xff, 0xff}) // oversized length claim
+	f.Add([]byte{'X', 'X', FrameVersion, 1, 0, 0, 0, 0})                             // bad magic
+	f.Add([]byte{FrameMagic0, FrameMagic1, 0x7f, 1, 0, 0, 0, 0})                     // bad version
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, rest, err := ParseFrame(data)
+		sk, sp, serr := ReadFrame(bytes.NewReader(data), nil)
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("decoders disagree: parse err=%v, read err=%v", err, serr)
+		}
+		if err != nil {
+			return
+		}
+		if sk != kind || !bytes.Equal(sp, payload) {
+			t.Fatalf("decoders disagree on content: kind %d vs %d", kind, sk)
+		}
+		if len(payload) > MaxFramePayload {
+			t.Fatalf("accepted payload of %d bytes past the guard", len(payload))
+		}
+		if len(payload)+FrameHeaderSize+len(rest) != len(data) {
+			t.Fatalf("frame accounting off: %d + %d + %d != %d",
+				len(payload), FrameHeaderSize, len(rest), len(data))
+		}
+		again := AppendFrame(nil, kind, payload)
+		if !bytes.Equal(again, data[:len(data)-len(rest)]) {
+			t.Fatalf("re-encode mismatch")
+		}
+	})
+}
+
 // FuzzRoundTrip checks that whatever Writer encodes, Reader decodes
 // identically — for arbitrary blob contents and integer values.
 func FuzzRoundTrip(f *testing.F) {
