@@ -77,10 +77,13 @@ type member struct {
 	conn     net.Conn
 }
 
-// waiter is a parked Wait request: woken when the member count reaches n.
+// waiter is a parked Wait request: woken when the member count reaches
+// n, or abandoned when the connection that asked dies first.
 type waiter struct {
-	n  int
-	ch chan []byte // receives the encoded peer list
+	n    int
+	conn net.Conn      // the asking connection; the cleanup key in serve
+	ch   chan []byte   // receives the encoded peer list
+	done chan struct{} // closed by serve's cleanup when conn is torn down
 }
 
 // Config tunes a Board.
@@ -235,6 +238,20 @@ func (b *Board) serve(conn net.Conn) {
 		for _, a := range mine {
 			delete(b.members, a)
 		}
+		// Abandon this connection's parked waiters: their reply would
+		// only hit a dead conn, and the entries would otherwise pile up
+		// until board Close.
+		if len(b.waiters) > 0 {
+			keep := b.waiters[:0]
+			for _, wt := range b.waiters {
+				if wt.conn == conn {
+					close(wt.done)
+				} else {
+					keep = append(keep, wt)
+				}
+			}
+			b.waiters = keep
+		}
 		b.mu.Unlock()
 	}()
 	var writeMu sync.Mutex
@@ -294,7 +311,7 @@ func (b *Board) serve(conn net.Conn) {
 				}
 				continue
 			}
-			wt := &waiter{n: n, ch: make(chan []byte, 1)}
+			wt := &waiter{n: n, conn: conn, ch: make(chan []byte, 1), done: make(chan struct{})}
 			b.waiters = append(b.waiters, wt)
 			b.mu.Unlock()
 			// Park the response on its own goroutine so the member can
@@ -305,6 +322,8 @@ func (b *Board) serve(conn net.Conn) {
 				select {
 				case peers := <-wt.ch:
 					reply(kindReady, peers)
+				case <-wt.done:
+					// Connection died before quorum; nothing to write.
 				case <-b.quit:
 				}
 			}()
@@ -367,7 +386,16 @@ func Dial(hostport string) (*Client, error) {
 
 // Close terminates the connection; the board forgets this member's
 // registrations.
-func (c *Client) Close() {
+func (c *Client) Close() { c.poison() }
+
+// poison tears the connection down. Called on Close and on any failed
+// call: the protocol is strictly request/response on one stream, so
+// after a timeout or short read the next frame in flight (possibly a
+// late kindReady from a parked Wait) would be misread as the response
+// to an unrelated call. There is no way to resynchronize — later calls
+// fail fast and a member that wants back in re-dials and re-registers,
+// which also lets the board retire its side of the state.
+func (c *Client) poison() {
 	c.hbOnce.Do(func() { close(c.hbStop) })
 	c.conn.Close()
 }
@@ -379,11 +407,13 @@ func (c *Client) write(kind byte, payload []byte) error {
 }
 
 // call performs one request/response cycle. timeout of zero waits
-// forever.
+// forever. Any failure — write error, read error or timeout, wrong
+// response kind — poisons the client: see poison.
 func (c *Client) call(kind byte, payload []byte, wantKind byte, timeout time.Duration) ([]byte, error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	if err := c.write(kind, payload); err != nil {
+		c.poison()
 		return nil, err
 	}
 	if timeout > 0 {
@@ -392,12 +422,16 @@ func (c *Client) call(kind byte, payload []byte, wantKind byte, timeout time.Dur
 	}
 	gotKind, resp, err := wire.ReadFrame(c.conn, c.buf)
 	if err != nil {
+		c.poison()
 		return nil, err
 	}
 	if gotKind == kindError {
+		// The server closes its side after sending an error frame; match it.
+		c.poison()
 		return nil, fmt.Errorf("board: %s", resp)
 	}
 	if gotKind != wantKind {
+		c.poison()
 		return nil, fmt.Errorf("board: unexpected response kind %d (want %d)", gotKind, wantKind)
 	}
 	// resp aliases c.buf; copy before releasing reqMu.
@@ -437,7 +471,9 @@ func (c *Client) Peers() (map[transport.Addr]string, error) {
 
 // WaitForPeers blocks until the board has at least n members (or the
 // timeout passes) and returns the peer table at that moment. Heartbeats
-// keep flowing while it blocks.
+// keep flowing while it blocks. A timeout is fatal for the client: the
+// server-side waiter may still fire later and desync the stream, so the
+// connection is closed and the member must re-dial to continue.
 func (c *Client) WaitForPeers(n int, timeout time.Duration) (map[transport.Addr]string, error) {
 	w := wire.NewWriter(8)
 	w.Uint32(uint32(n))

@@ -126,6 +126,55 @@ func TestWaitBlocksUntilQuorum(t *testing.T) {
 	}
 }
 
+// TestWaitTimeoutPoisonsClientAndDropsWaiter pins the desync fix: after
+// a WaitForPeers timeout the server-side waiter may still fire later,
+// so the client must not reuse the connection (the stale kindReady
+// would be misread as the next call's response), and the board must
+// drop the waiter when the connection dies instead of parking it until
+// Close.
+func TestWaitTimeoutPoisonsClientAndDropsWaiter(t *testing.T) {
+	b, addr := startBoard(t, Config{})
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c1.Close)
+	if _, _, err := c1.Register("127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.WaitForPeers(3, 50*time.Millisecond); err == nil {
+		t.Fatal("wait for an unreachable quorum returned without error")
+	}
+	// The connection is poisoned: no later call may read the waiter's
+	// stale reply.
+	if _, err := c1.Peers(); err == nil {
+		t.Fatal("call succeeded on a desynced connection")
+	}
+	// The board notices the dead connection and abandons the waiter.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		n := len(b.waiters)
+		b.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d waiter(s) still parked after their connection died", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A fresh dial works: recovery is re-dial + re-register.
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c2.Close)
+	if _, _, err := c2.Register("127.0.0.1:2"); err != nil {
+		t.Fatalf("re-registration after poison failed: %v", err)
+	}
+}
+
 func TestDisconnectRemovesMember(t *testing.T) {
 	b, addr := startBoard(t, Config{})
 	c1, err := Dial(addr)

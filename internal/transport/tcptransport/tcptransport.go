@@ -23,6 +23,14 @@
 // connections in another transport) inject their own — the same
 // wrapper-with-transparent-fallback shape as a TorDialer around a node
 // dialer.
+//
+// Trust model. The transport assumes it runs on a trusted network
+// segment (localhost testbeds, a closed lab LAN): frames carry their
+// source address in cleartext, inbound connections are not
+// authenticated, and nothing is encrypted at this layer. See DESIGN.md
+// §14 ("Trust model") for what that does and does not cost, and the
+// Dialer seam for where a hardened deployment slots in an authenticated
+// channel.
 package tcptransport
 
 import (
@@ -92,11 +100,23 @@ type Stats struct {
 	BytesSent atomic.Uint64 // framed bytes written
 }
 
-// peer is one outbound neighbor: its queue and writer goroutine.
+// peer is one outbound neighbor: its queue, its writer goroutine, and
+// the quit channel that tears both down.
+//
+// p.out is NEVER closed. Send enqueues without holding the transport
+// lock, so a close racing an enqueue would panic the process; teardown
+// instead closes p.quit, which the writer and every enqueue select on,
+// turning late sends into ordinary drops.
 type peer struct {
 	hostport string
 	out      chan []byte
+	quit     chan struct{}
+	stop     sync.Once
 }
+
+// shutdown signals the peer's writer to exit and pending or future
+// enqueues to drop. Idempotent and safe from any goroutine.
+func (p *peer) shutdown() { p.stop.Do(func() { close(p.quit) }) }
 
 // Transport carries messages over TCP. Construct with New, then Listen
 // (to accept inbound traffic) and SetPeer (to name outbound neighbors).
@@ -221,14 +241,25 @@ func (t *Transport) acceptLoop(ln net.Listener) {
 
 // readLoop decodes frames from one inbound connection and dispatches
 // them. The frame payload is [src:8][dst:8][codec payload].
+//
+// The src address is taken from the frame as-is: the transport trusts
+// the network segment it runs on and does no per-connection
+// authentication (DESIGN.md §14, "Trust model"). A hardened deployment
+// binds identity to the connection via the Dialer seam.
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
 		// Tear the connection down when the transport closes, so the
-		// blocking ReadFrame returns.
-		<-t.quit
-		conn.Close()
+		// blocking ReadFrame returns — and exit with the loop, so a
+		// connection dying on its own doesn't leak this watcher.
+		select {
+		case <-t.quit:
+			conn.Close()
+		case <-done:
+		}
 	}()
 	buf := make([]byte, 64<<10)
 	for {
@@ -314,6 +345,14 @@ func (t *Transport) Send(src, dst transport.Addr, msg transport.Message) {
 		return
 	}
 	select {
+	case <-p.quit:
+		// Peer torn down between peerFor and the enqueue (endpoint
+		// change, RemovePeer, Close). Drop; the next Send re-resolves.
+		t.Stats.Dropped.Add(1)
+		return
+	default:
+	}
+	select {
 	case p.out <- frame:
 	default:
 		// Full queue: the peer is slower than we produce. Drop, as an
@@ -338,7 +377,7 @@ func (t *Transport) peerFor(dst transport.Addr) *peer {
 	if !ok {
 		return nil
 	}
-	p := &peer{hostport: hostport, out: make(chan []byte, t.cfg.SendQueue)}
+	p := &peer{hostport: hostport, out: make(chan []byte, t.cfg.SendQueue), quit: make(chan struct{})}
 	t.conns[dst] = p
 	t.wg.Add(1)
 	go t.writeLoop(dst, p)
@@ -363,44 +402,70 @@ func (t *Transport) writeLoop(dst transport.Addr, p *peer) {
 	}
 	defer conn.Close()
 	t.markUp(dst)
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
-		<-t.quit
-		conn.Close()
-	}()
-	for frame := range p.out {
-		if _, err := conn.Write(frame); err != nil {
-			t.logf("tcptransport: write %d (%s): %v", dst, p.hostport, err)
-			t.dropPeer(dst, p, true)
-			return
+		// Unblock a stuck Write when the transport closes or the peer is
+		// torn down; exit with the loop otherwise, so connection churn
+		// doesn't accumulate watchers.
+		select {
+		case <-t.quit:
+			conn.Close()
+		case <-p.quit:
+			conn.Close()
+		case <-done:
 		}
-		t.Stats.BytesSent.Add(uint64(len(frame)))
+	}()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case frame := <-p.out:
+			if _, err := conn.Write(frame); err != nil {
+				t.logf("tcptransport: write %d (%s): %v", dst, p.hostport, err)
+				t.dropPeer(dst, p, true)
+				return
+			}
+			t.Stats.BytesSent.Add(uint64(len(frame)))
+		}
 	}
 }
 
-// dropPeer removes a dead peer record, counts its queued frames as
-// drops, and marks the address down for Reachable.
+// dropPeer tears a dead peer down, counts its queued frames as drops,
+// and — if it was still the live record for dst — marks the address
+// down for Reachable. A stale peer (already replaced by SetPeer) is
+// drained without touching the fresh endpoint's state.
 func (t *Transport) dropPeer(dst transport.Addr, p *peer, hadConn bool) {
+	p.shutdown()
 	t.mu.Lock()
-	if t.conns[dst] == p {
+	current := t.conns[dst] == p
+	if current {
 		delete(t.conns, dst)
 	}
 	wasDown := t.down[dst]
-	t.down[dst] = true
+	if current {
+		t.down[dst] = true
+	}
 	watchers := t.snapshotWatchersLocked()
 	t.mu.Unlock()
-	// Drain whatever was queued behind the dead connection.
+	t.discardQueued(p)
+	if current && !wasDown {
+		for _, fn := range watchers {
+			fn := fn
+			t.enqueue(func() { fn(dst, false) })
+		}
+	}
+	_ = hadConn
+}
+
+// discardQueued drains whatever was queued behind a dead connection,
+// counting each frame as a drop.
+func (t *Transport) discardQueued(p *peer) {
 	for {
 		select {
 		case <-p.out:
 			t.Stats.Dropped.Add(1)
 		default:
-			if !wasDown {
-				for _, fn := range watchers {
-					fn := fn
-					t.enqueue(func() { fn(dst, false) })
-				}
-			}
-			_ = hadConn
 			return
 		}
 	}
@@ -510,7 +575,8 @@ func (t *Transport) SetPeer(addr transport.Addr, hostport string) {
 	}
 	t.mu.Unlock()
 	if stale != nil {
-		close(stale.out)
+		stale.shutdown()
+		t.discardQueued(stale)
 	}
 }
 
@@ -523,7 +589,8 @@ func (t *Transport) RemovePeer(addr transport.Addr) {
 	delete(t.conns, addr)
 	t.mu.Unlock()
 	if p != nil {
-		close(p.out)
+		p.shutdown()
+		t.discardQueued(p)
 	}
 }
 
@@ -555,7 +622,7 @@ func (t *Transport) Close() {
 		ln.Close()
 	}
 	for _, p := range conns {
-		close(p.out)
+		p.shutdown()
 	}
 	close(t.quit)
 	t.wg.Wait()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -322,6 +323,83 @@ func TestSerializationAndLatency(t *testing.T) {
 	t.Cleanup(b.Close)
 	if b.Serialization(1000) != 0 {
 		t.Fatal("unconfigured bandwidth should report zero serialization")
+	}
+}
+
+// TestSendDuringPeerTeardown hammers Send from several goroutines while
+// the control path repeatedly tears the peer down (endpoint change,
+// removal, re-add). Before p.out teardown moved to a quit channel this
+// panicked with "send on closed channel".
+func TestSendDuringPeerTeardown(t *testing.T) {
+	a, b := newPair(t)
+	cb := newCollector()
+	b.Attach(1, cb)
+	bHostport := b.ln.Addr().String()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					a.Send(0, 1, textMsg{body: []byte("x")})
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		// A changed endpoint tears the old connection down mid-send...
+		a.SetPeer(1, "127.0.0.1:9")
+		a.SetPeer(1, bHostport)
+		// ...and so does removing the peer outright.
+		a.RemovePeer(1)
+		a.SetPeer(1, bHostport)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConnectionChurnDoesNotLeakGoroutines kills the peer's connection
+// on every send and re-adds it, many times over. Before the
+// per-connection done channel, each dead connection left a watcher
+// goroutine parked on <-t.quit until Close.
+func TestConnectionChurnDoesNotLeakGoroutines(t *testing.T) {
+	// Every dial yields a pipe whose far end closes immediately, so each
+	// writer dies on its first write.
+	d := &memDialer{serve: func(c net.Conn) { c.Close() }}
+	a := New(Config{Codec: textCodec{}, Dialer: d})
+	t.Cleanup(a.Close)
+
+	churn := func() {
+		a.SetPeer(1, "mem")
+		a.Send(0, 1, textMsg{body: []byte("x")})
+		deadline := time.Now().Add(5 * time.Second)
+		for a.Reachable(1) {
+			if time.Now().After(deadline) {
+				t.Fatal("peer never went down")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	churn() // warm up: loop goroutine, first writer, etc.
+	base := runtime.NumGoroutine()
+	const cycles = 40
+	for i := 0; i < cycles; i++ {
+		churn()
+	}
+	// Give the last writer and its watcher a moment to unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d across %d connection churns",
+				base, runtime.NumGoroutine(), cycles)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
