@@ -19,17 +19,31 @@ import (
 	"time"
 
 	"tap/internal/board"
+	"tap/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "host:port to listen on")
 	stale := flag.Duration("stale", 30*time.Second, "prune members with no heartbeat for this long (0 disables)")
 	verbose := flag.Bool("v", false, "log membership changes")
+	metricsAddr := flag.String("metrics-addr", "", "host:port for /metrics and /debug/pprof (empty disables)")
 	flag.Parse()
 
 	cfg := board.Config{StaleAfter: *stale}
 	if *verbose {
 		cfg.Logf = log.Printf
+	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		bound, stopMetrics, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopMetrics()
+		// Scraped by the integration test; keep the format stable.
+		fmt.Printf("tapboard metrics listening on %s\n", bound)
+		cfg.Registry = reg
 	}
 	b := board.New(cfg)
 	addr, err := b.Listen(*listen)

@@ -3,6 +3,15 @@
 // tunnel's anchors with their replica sets, and the result of the
 // overlay/storage invariant checkers. It is the debugging companion to
 // cmd/tapsim.
+//
+// The `metrics` subcommand instead inspects a live process:
+//
+//	tapinspect metrics -addr 127.0.0.1:9090
+//
+// scrapes the given /metrics endpoint (tapnode or tapboard started with
+// -metrics-addr), strictly validates the exposition, and pretty-prints
+// it grouped by family. It exits non-zero on an unreachable endpoint or
+// malformed output, which the nightly compose smoke relies on.
 package main
 
 import (
@@ -21,6 +30,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		runMetrics(os.Args[2:])
+		return
+	}
 	var (
 		n      = flag.Int("n", 1000, "network size")
 		k      = flag.Int("k", 3, "replication factor")

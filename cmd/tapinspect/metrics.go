@@ -1,0 +1,118 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"tap/internal/obs"
+)
+
+// runMetrics implements `tapinspect metrics`: scrape one process's
+// /metrics endpoint, strictly parse the exposition, and pretty-print
+// it grouped by family. An unreachable endpoint or an unparseable
+// exposition exits non-zero — the nightly compose smoke uses that as
+// its format gate.
+func runMetrics(args []string) {
+	fs := flag.NewFlagSet("tapinspect metrics", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "metrics endpoint (host:port or full URL)")
+	timeout := fs.Duration("timeout", 5*time.Second, "scrape timeout")
+	filter := fs.String("filter", "", "only print families whose name contains this substring")
+	raw := fs.Bool("raw", false, "dump the exposition verbatim after validating it")
+	fs.Parse(args)
+
+	url := *addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/metrics") {
+		url = strings.TrimSuffix(url, "/") + "/metrics"
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		fail(fmt.Errorf("scrape %s: %w", url, err))
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("scrape %s: status %s", url, resp.Status))
+	}
+	snap, err := obs.ParseText(resp.Body)
+	if err != nil {
+		fail(fmt.Errorf("scrape %s: bad exposition: %w", url, err))
+	}
+
+	if *raw {
+		// Re-render from the parsed form so what prints is exactly what
+		// validated.
+		for _, s := range snap.Samples {
+			fmt.Printf("%s%s %s\n", s.Name, renderSampleLabels(s), formatValue(s.Value))
+		}
+		return
+	}
+
+	// Group samples by family: histogram series (_bucket/_sum/_count)
+	// fold back under their base name.
+	byFamily := make(map[string][]obs.Sample)
+	var names []string
+	for _, s := range snap.Samples {
+		name := familyOf(s.Name, snap)
+		if *filter != "" && !strings.Contains(name, *filter) {
+			continue
+		}
+		if _, seen := byFamily[name]; !seen {
+			names = append(names, name)
+		}
+		byFamily[name] = append(byFamily[name], s)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		typ := snap.Types[name]
+		if typ == "" {
+			typ = "untyped"
+		}
+		fmt.Printf("%s (%s)\n", name, typ)
+		for _, s := range byFamily[name] {
+			label := renderSampleLabels(s)
+			suffix := strings.TrimPrefix(s.Name, name)
+			fmt.Printf("  %-40s %s\n", suffix+label, formatValue(s.Value))
+		}
+	}
+	fmt.Printf("\n%d samples in %d families from %s\n", len(snap.Samples), len(names), url)
+}
+
+// familyOf maps a sample name to its family: histogram suffixes strip
+// back to the TYPE-declared base name.
+func familyOf(name string, snap *obs.Snapshot) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suf); base != name && snap.Types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func renderSampleLabels(s obs.Sample) string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(s.Labels))
+	for n := range s.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%q", n, s.Labels[n])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -19,6 +19,7 @@ import (
 	"crypto/rand"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"tap/internal/board"
+	"tap/internal/obs"
 	"tap/internal/procnode"
 	"tap/internal/transport"
 	"tap/internal/transport/tcptransport"
@@ -45,6 +47,8 @@ func main() {
 	fwHops := flag.Int("fwhops", 3, "client forward-tunnel length")
 	rpHops := flag.Int("rphops", 2, "client reply-tunnel length")
 	verbose := flag.Bool("v", false, "log relay activity")
+	metricsAddr := flag.String("metrics-addr", "", "host:port for /metrics and /debug/pprof (empty disables)")
+	linger := flag.Bool("linger", false, "client mode: after printing the result, wait for stdin EOF before exiting")
 	flag.Parse()
 
 	logf := func(string, ...any) {}
@@ -52,7 +56,22 @@ func main() {
 		logf = log.Printf
 	}
 
-	tr := tcptransport.New(tcptransport.Config{Codec: procnode.Codec{}, Logf: logf})
+	// The metrics registry is nil unless asked for: every layer below
+	// treats that as the no-op sink.
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		bound, stopMetrics, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopMetrics()
+		// Scraped by the integration test; keep the format stable.
+		fmt.Printf("tapnode metrics listening on %s\n", bound)
+	}
+
+	tr := tcptransport.New(tcptransport.Config{Codec: procnode.Codec{}, Logf: logf, Registry: reg})
 	defer tr.Close()
 	hostport, err := tr.Listen(*listen)
 	if err != nil {
@@ -70,7 +89,7 @@ func main() {
 	}
 	cli.StartHeartbeat(*heartbeat)
 
-	node := procnode.New(tr, addr, logf)
+	node := procnode.New(tr, addr, logf, reg)
 	node.SetPeers(peers)
 	fmt.Printf("tapnode addr=%d listening on %s\n", addr, hostport)
 
@@ -84,6 +103,12 @@ func main() {
 
 	if *client {
 		runClient(node, peers, addr, *fwHops, *rpHops, *nbytes, *chunk)
+		if *linger {
+			// Hold the process (and its /metrics endpoint) open until the
+			// parent closes our stdin — the integration test scrapes the
+			// client's counters in this window, then releases us.
+			io.Copy(io.Discard, os.Stdin)
+		}
 		return
 	}
 

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"tap/internal/obs"
 	"tap/internal/transport"
 	"tap/internal/wire"
 )
@@ -94,12 +95,41 @@ type Config struct {
 	StaleAfter time.Duration
 	// Logf, when non-nil, receives diagnostics.
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, receives the board's metrics (tap_board_*;
+	// see DESIGN.md §15). One board per registry. Nil disables metrics —
+	// every instrument degrades to obs's no-op sink.
+	Registry *obs.Registry
+}
+
+// metrics holds the board's instruments; all fields are nil (no-ops)
+// when Config.Registry is nil.
+type metrics struct {
+	members       *obs.Gauge   // live registrations
+	registrations *obs.Counter // kindRegister frames accepted
+	departures    *obs.Counter // registrations dropped with their connection
+	heartbeats    *obs.Counter // kindHeartbeat frames received
+	prunes        *obs.Counter // members evicted by staleness
+	waitersParked *obs.Gauge   // Wait requests parked below quorum
+	waitsServed   *obs.Counter // kindReady replies, immediate or woken
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		members:       reg.Gauge("tap_board_members", "Live member registrations."),
+		registrations: reg.Counter("tap_board_registrations_total", "Register requests accepted."),
+		departures:    reg.Counter("tap_board_departures_total", "Registrations dropped when their connection died."),
+		heartbeats:    reg.Counter("tap_board_heartbeats_total", "Heartbeat frames received."),
+		prunes:        reg.Counter("tap_board_prunes_total", "Members evicted for stale heartbeats."),
+		waitersParked: reg.Gauge("tap_board_waiters_parked", "Wait requests parked until quorum."),
+		waitsServed:   reg.Counter("tap_board_waits_served_total", "Wait requests answered with a peer list."),
+	}
 }
 
 // Board is the coordinator service. Construct with New, start with
 // Listen, stop with Close.
 type Board struct {
 	cfg Config
+	m   *metrics
 
 	mu      sync.Mutex
 	next    transport.Addr
@@ -113,7 +143,7 @@ type Board struct {
 
 // New creates an idle board.
 func New(cfg Config) *Board {
-	return &Board{cfg: cfg, members: make(map[transport.Addr]*member), quit: make(chan struct{})}
+	return &Board{cfg: cfg, m: newMetrics(cfg.Registry), members: make(map[transport.Addr]*member), quit: make(chan struct{})}
 }
 
 func (b *Board) logf(format string, args ...any) {
@@ -220,8 +250,10 @@ func (b *Board) pruneLoop() {
 						m.conn.Close()
 					}
 					delete(b.members, a)
+					b.m.prunes.Inc()
 				}
 			}
+			b.m.members.Set(int64(len(b.members)))
 			b.mu.Unlock()
 		}
 	}
@@ -236,8 +268,12 @@ func (b *Board) serve(conn net.Conn) {
 	defer func() {
 		b.mu.Lock()
 		for _, a := range mine {
-			delete(b.members, a)
+			if _, ok := b.members[a]; ok {
+				delete(b.members, a)
+				b.m.departures.Inc()
+			}
 		}
+		b.m.members.Set(int64(len(b.members)))
 		// Abandon this connection's parked waiters: their reply would
 		// only hit a dead conn, and the entries would otherwise pile up
 		// until board Close.
@@ -252,6 +288,7 @@ func (b *Board) serve(conn net.Conn) {
 			}
 			b.waiters = keep
 		}
+		b.m.waitersParked.Set(int64(len(b.waiters)))
 		b.mu.Unlock()
 	}()
 	var writeMu sync.Mutex
@@ -278,6 +315,8 @@ func (b *Board) serve(conn net.Conn) {
 			addr := b.next
 			b.next++
 			b.members[addr] = &member{hostport: hostport, lastSeen: time.Now(), conn: conn}
+			b.m.registrations.Inc()
+			b.m.members.Set(int64(len(b.members)))
 			peers := b.peersLocked()
 			b.wakeWaitersLocked()
 			b.mu.Unlock()
@@ -305,6 +344,7 @@ func (b *Board) serve(conn net.Conn) {
 			b.mu.Lock()
 			if len(b.members) >= n {
 				peers := b.peersLocked()
+				b.m.waitsServed.Inc()
 				b.mu.Unlock()
 				if err := reply(kindReady, encodePeers(peers)); err != nil {
 					return
@@ -313,6 +353,7 @@ func (b *Board) serve(conn net.Conn) {
 			}
 			wt := &waiter{n: n, conn: conn, ch: make(chan []byte, 1), done: make(chan struct{})}
 			b.waiters = append(b.waiters, wt)
+			b.m.waitersParked.Set(int64(len(b.waiters)))
 			b.mu.Unlock()
 			// Park the response on its own goroutine so the member can
 			// keep heartbeating on this connection meanwhile.
@@ -328,6 +369,7 @@ func (b *Board) serve(conn net.Conn) {
 				}
 			}()
 		case kindHeartbeat:
+			b.m.heartbeats.Inc()
 			b.mu.Lock()
 			now := time.Now()
 			for _, a := range mine {
@@ -354,11 +396,13 @@ func (b *Board) wakeWaitersLocked() {
 	for _, wt := range b.waiters {
 		if len(b.members) >= wt.n {
 			wt.ch <- encodePeers(b.peersLocked())
+			b.m.waitsServed.Inc()
 		} else {
 			keep = append(keep, wt)
 		}
 	}
 	b.waiters = keep
+	b.m.waitersParked.Set(int64(len(b.waiters)))
 }
 
 // --- client ------------------------------------------------------------------

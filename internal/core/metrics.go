@@ -1,0 +1,132 @@
+package core
+
+import "tap/internal/obs"
+
+// EngineMetrics publishes an engine's internally kept counters into an
+// obs registry. The engines themselves stay observability-free: they
+// count into plain uint64 fields on their own event loop exactly as
+// before (no atomics, no time sources, bit-identical simulation runs),
+// and a host that wants a scrapable view snapshots those totals into
+// registry counters — typically from an obs.OnScrape hook, so the cost
+// is paid per scrape, not per event.
+//
+// Counter.Store (not Add) is the publish primitive: the engine fields
+// are already monotone totals, so each publish overwrites the exported
+// value with the current one. Publishing is idempotent and safe to call
+// at any frequency.
+//
+// A nil registry yields a nil *EngineMetrics, and every method on nil
+// is a no-op — the simulator's engines never touch obs at all.
+type EngineMetrics struct {
+	// Pool lifecycle (PoolStats).
+	probesSent    *obs.Counter
+	probesOK      *obs.Counter
+	probesFailed  *obs.Counter
+	probeTimeouts *obs.Counter
+	slotDeaths    *obs.Counter
+	attributions  *obs.Counter
+	rebuilds      *obs.Counter
+	rebuildDenied *obs.Counter
+	rebuildFailed *obs.Counter
+	poolSends     *obs.Counter
+	sendFailures  *obs.Counter
+	failovers     *obs.Counter
+	fastFails     *obs.Counter
+	repairs       *obs.Counter
+
+	// Network engine flows and reliability (NetEngine fields).
+	netHops     *obs.Counter
+	hintHits    *obs.Counter
+	hintMiss    *obs.Counter
+	failFlows   *obs.Counter
+	retransmits *obs.Counter
+	packetsLost *obs.Counter
+	staleHints  *obs.Counter
+
+	// Windowed streams (NetEngine fields).
+	segsSent  *obs.Counter
+	segsRetx  *obs.Counter
+	fastRetx  *obs.Counter
+	timeouts  *obs.Counter
+	bytesRecv *obs.Counter
+}
+
+// NewEngineMetrics registers the engine families on reg, or returns nil
+// (the no-op publisher) when reg is nil.
+func NewEngineMetrics(reg *obs.Registry) *EngineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &EngineMetrics{
+		probesSent:    reg.Counter("tap_pool_probes_sent_total", "Tunnel probes launched."),
+		probesOK:      reg.Counter("tap_pool_probes_ok_total", "Tunnel probes echoed in time."),
+		probesFailed:  reg.Counter("tap_pool_probes_failed_total", "Tunnel probes failed."),
+		probeTimeouts: reg.Counter("tap_pool_probe_timeouts_total", "Tunnel probes timed out."),
+		slotDeaths:    reg.Counter("tap_pool_slot_deaths_total", "Tunnels declared dead."),
+		attributions:  reg.Counter("tap_pool_attributions_total", "Deaths attributed to a specific hop."),
+		rebuilds:      reg.Counter("tap_pool_rebuilds_total", "Rebuild attempts admitted."),
+		rebuildDenied: reg.Counter("tap_pool_rebuilds_denied_total", "Rebuilds refused by the rate limiter."),
+		rebuildFailed: reg.Counter("tap_pool_rebuild_failures_total", "Admitted rebuilds whose formation failed."),
+		poolSends:     reg.Counter("tap_pool_sends_total", "Pool sends accepted."),
+		sendFailures:  reg.Counter("tap_pool_send_failures_total", "Tunnel send attempts that failed."),
+		failovers:     reg.Counter("tap_pool_failovers_total", "Sends retried over another tunnel."),
+		fastFails:     reg.Counter("tap_pool_fast_fails_total", "Sends rejected while degraded."),
+		repairs:       reg.Counter("tap_pool_repairs_total", "Slots restored to healthy after a death."),
+
+		netHops:     reg.Counter("tap_engine_net_hops_total", "Overlay hops traversed by flows."),
+		hintHits:    reg.Counter("tap_engine_hint_hits_total", "Hop dispatches served by an address hint."),
+		hintMiss:    reg.Counter("tap_engine_hint_misses_total", "Hop dispatches that fell back to DHT routing."),
+		failFlows:   reg.Counter("tap_engine_failed_flows_total", "Flows that ended in failure."),
+		retransmits: reg.Counter("tap_engine_retransmits_total", "Reliable-flow retransmissions."),
+		packetsLost: reg.Counter("tap_engine_packets_lost_total", "Reliable-flow packets lost mid-flight."),
+		staleHints:  reg.Counter("tap_engine_stale_hints_total", "Address hints invalidated."),
+
+		segsSent:  reg.Counter("tap_stream_segments_sent_total", "Original stream segment transmissions."),
+		segsRetx:  reg.Counter("tap_stream_segments_retx_total", "Stream segment retransmissions."),
+		fastRetx:  reg.Counter("tap_stream_fast_retx_total", "Fast retransmits from duplicate ACKs."),
+		timeouts:  reg.Counter("tap_stream_rto_expirations_total", "Stream RTO expirations."),
+		bytesRecv: reg.Counter("tap_stream_bytes_received_total", "In-order stream bytes delivered."),
+	}
+}
+
+// PublishPool snapshots a pool's lifecycle totals.
+func (em *EngineMetrics) PublishPool(s PoolStats) {
+	if em == nil {
+		return
+	}
+	em.probesSent.Store(s.ProbesSent)
+	em.probesOK.Store(s.ProbesOK)
+	em.probesFailed.Store(s.ProbesFailed)
+	em.probeTimeouts.Store(s.ProbeTimeouts)
+	em.slotDeaths.Store(s.SlotDeaths)
+	em.attributions.Store(s.Attributions)
+	em.rebuilds.Store(s.Rebuilds)
+	em.rebuildDenied.Store(s.RebuildsDenied)
+	em.rebuildFailed.Store(s.RebuildFailures)
+	em.poolSends.Store(s.Sends)
+	em.sendFailures.Store(s.SendFailures)
+	em.failovers.Store(s.Failovers)
+	em.fastFails.Store(s.FastFails)
+	em.repairs.Store(s.Repairs)
+}
+
+// PublishNet snapshots a network engine's flow, reliability, and stream
+// totals. Call it from the transport's dispatch loop (or after traffic
+// has quiesced): the engine's counters are loop-owned plain fields.
+func (em *EngineMetrics) PublishNet(ne *NetEngine) {
+	if em == nil || ne == nil {
+		return
+	}
+	em.netHops.Store(ne.NetHops)
+	em.hintHits.Store(ne.HintHits)
+	em.hintMiss.Store(ne.HintMiss)
+	em.failFlows.Store(ne.FailFlows)
+	em.retransmits.Store(ne.Retransmits)
+	em.packetsLost.Store(ne.PacketsLost)
+	em.staleHints.Store(ne.StaleHints)
+	em.segsSent.Store(ne.StreamSegsSent)
+	em.segsRetx.Store(ne.StreamSegsRetx)
+	em.fastRetx.Store(ne.StreamFastRetx)
+	em.timeouts.Store(ne.StreamTimeouts)
+	em.bytesRecv.Store(ne.StreamBytesRecv)
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tap/internal/obs"
+)
+
+// TestEngineMetricsPublish proves the publish seam: engine-kept totals
+// land in the registry on each publish, republishing is idempotent, and
+// the nil publisher (how every simulator run is wired) is a no-op.
+func TestEngineMetricsPublish(t *testing.T) {
+	reg := obs.NewRegistry()
+	em := NewEngineMetrics(reg)
+
+	ps := PoolStats{ProbesSent: 7, SlotDeaths: 2, Rebuilds: 3, Sends: 41}
+	em.PublishPool(ps)
+	ne := &NetEngine{NetHops: 55, Retransmits: 4, StreamSegsSent: 12, StreamBytesRecv: 4096}
+	em.PublishNet(ne)
+
+	scrape := func() *obs.Snapshot {
+		var sb strings.Builder
+		if err := reg.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := obs.ParseText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("exposition does not parse: %v", err)
+		}
+		return snap
+	}
+
+	snap := scrape()
+	for name, want := range map[string]float64{
+		"tap_pool_probes_sent_total":      7,
+		"tap_pool_slot_deaths_total":      2,
+		"tap_pool_rebuilds_total":         3,
+		"tap_pool_sends_total":            41,
+		"tap_engine_net_hops_total":       55,
+		"tap_engine_retransmits_total":    4,
+		"tap_stream_segments_sent_total":  12,
+		"tap_stream_bytes_received_total": 4096,
+		"tap_pool_failovers_total":        0, // registered even when untouched
+	} {
+		if got, ok := snap.Value(name); !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+
+	// Publishing a grown snapshot overwrites, never accumulates.
+	ps.ProbesSent = 9
+	em.PublishPool(ps)
+	ne.NetHops = 60
+	em.PublishNet(ne)
+	snap = scrape()
+	if got, _ := snap.Value("tap_pool_probes_sent_total"); got != 9 {
+		t.Errorf("republished probes = %v, want 9", got)
+	}
+	if got, _ := snap.Value("tap_engine_net_hops_total"); got != 60 {
+		t.Errorf("republished hops = %v, want 60", got)
+	}
+}
+
+func TestEngineMetricsNilIsNoop(t *testing.T) {
+	em := NewEngineMetrics(nil)
+	if em != nil {
+		t.Fatal("nil registry must yield the nil publisher")
+	}
+	em.PublishPool(PoolStats{ProbesSent: 1})
+	em.PublishNet(&NetEngine{NetHops: 1})
+	em.PublishNet(nil)
+}

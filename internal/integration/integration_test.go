@@ -59,10 +59,19 @@ func repoRoot(t *testing.T) string {
 
 // proc is one spawned child process with captured output.
 type proc struct {
-	cmd  *exec.Cmd
-	out  *bufio.Scanner
-	buf  *bytes.Buffer
-	done chan error // receives the single Wait result
+	cmd   *exec.Cmd
+	out   *bufio.Scanner
+	buf   *bytes.Buffer
+	stdin io.WriteCloser // held open; closing it releases a -linger child
+	done  chan error     // receives the single Wait result
+}
+
+// closeStdin signals a lingering child to exit by closing its stdin.
+func (p *proc) closeStdin(t *testing.T) {
+	t.Helper()
+	if err := p.stdin.Close(); err != nil {
+		t.Fatalf("closing stdin: %v", err)
+	}
 }
 
 // wait blocks until the process exits and returns its Wait error.
@@ -84,6 +93,10 @@ func startProc(t *testing.T, name string, args ...string) *proc {
 	var buf bytes.Buffer
 	cmd.Stdout = io.MultiWriter(pw, &buf)
 	cmd.Stderr = io.MultiWriter(pw, &buf)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatalf("stdin pipe for %s: %v", name, err)
+	}
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("starting %s: %v", name, err)
 	}
@@ -98,7 +111,7 @@ func startProc(t *testing.T, name string, args ...string) *proc {
 		cmd.Process.Kill()
 		<-done
 	})
-	return &proc{cmd: cmd, out: bufio.NewScanner(pr), buf: &buf, done: done}
+	return &proc{cmd: cmd, out: bufio.NewScanner(pr), buf: &buf, stdin: stdin, done: done}
 }
 
 // expectLine reads lines until one contains want, or times out.

@@ -1,0 +1,35 @@
+package obs
+
+import "testing"
+
+// These two benchmarks ride in the tapbench hot group and under the
+// blocking CI alloc gate (BENCH_baseline.json pins both at 0
+// allocs/op): instrumentation added to the PR 2/PR 6 zero-alloc hot
+// paths must itself stay allocation-free, or the gate fails before a
+// regression can land.
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("tap_bench_events_total", "x")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Load() != uint64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("tap_bench_seconds", "x", nil) // DefBuckets, 14 bounds
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+	if h.Count() != uint64(b.N) {
+		b.Fatal("lost observations")
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ContentType is the exposition format this package renders: Prometheus
+// text format, version 0.0.4.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered instrument in the Prometheus text
+// exposition format: families sorted by name, each preceded by its HELP
+// and TYPE lines, series within a family in registration order.
+// Histograms render the full triplet — cumulative _bucket series with
+// the le label, then _sum and _count. A nil registry writes nothing.
+//
+// The byte format is pinned by TestExpositionGolden: scrapers (the
+// integration test's invariant checker, cmd/tapinspect, any real
+// Prometheus) can rely on it.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.runOnScrape()
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			switch {
+			case s.c != nil:
+				writeSample(bw, f.name, "", s.labels, strconv.FormatUint(s.c.Load(), 10))
+			case s.g != nil:
+				writeSample(bw, f.name, "", s.labels, strconv.FormatInt(s.g.Load(), 10))
+			case s.h != nil:
+				cum := uint64(0)
+				for i := range s.h.counts {
+					cum += s.h.counts[i].Load()
+					writeSample(bw, f.name, "_bucket", s.bucketLabels[i], strconv.FormatUint(cum, 10))
+				}
+				writeSample(bw, f.name, "_sum", s.labels, formatFloat(s.h.Sum()))
+				writeSample(bw, f.name, "_count", s.labels, strconv.FormatUint(s.h.Count(), 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSample(w *bufio.Writer, name, suffix, labels, value string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	w.WriteString(labels)
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/exposition.golden from the current renderer")
+
+// TestExpositionGolden pins the exposition byte format: a registry
+// exercising every metric type — unlabeled and labeled counters, a
+// gauge, a histogram with its _bucket/_sum/_count triplet, label and
+// HELP escaping — must render byte-identical to the committed golden
+// file. Scrapers are written against this format; a diff here is a
+// compatibility break, not a cosmetic change.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	r.Counter("tap_golden_events_total", "Events with\na newline and a back\\slash.").Add(42)
+	in := r.Counter("tap_golden_frames_total", "Frames by direction.", Label{Name: "dir", Value: "in"})
+	out := r.Counter("tap_golden_frames_total", "Frames by direction.", Label{Name: "dir", Value: "out"})
+	in.Add(3)
+	out.Add(5)
+	r.Counter("tap_golden_escapes_total", "Label escaping.",
+		Label{Name: "path", Value: `C:\dir "quoted"` + "\nnext"}).Inc()
+
+	g := r.Gauge("tap_golden_depth", "Queue depth.")
+	g.Set(-7)
+
+	h := r.Histogram("tap_golden_seconds", "Latency.", []float64{0.005, 0.25, 1, 2.5})
+	for _, v := range []float64{0.001, 0.2, 0.9, 0.9, 3, 100} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The golden document must also satisfy our own strict parser —
+	// the format contract cuts both ways.
+	if _, err := ParseText(bytes.NewReader(want)); err != nil {
+		t.Fatalf("golden exposition does not parse: %v", err)
+	}
+}

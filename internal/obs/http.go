@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Handler returns the /metrics endpoint: each GET renders the registry
+// in the text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteText(w)
+	})
+}
+
+// NewDebugMux builds the debug listener's mux: /metrics backed by reg,
+// plus the net/http/pprof suite under /debug/pprof/. One flat mux keeps
+// the deployment surface to a single port per process.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds the debug mux to addr (host:0 picks a free port) and
+// serves it on a background goroutine. It returns the bound address and
+// a stop function that closes the listener. Used by cmd/tapnode and
+// cmd/tapboard behind their -metrics-addr flags.
+func Serve(addr string, reg *Registry) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// RegisterRuntimeMetrics adds the process-level gauges every deployment
+// wants on a dashboard — goroutine count, heap bytes, GC cycles —
+// published lazily on each scrape. Safe on a nil registry.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	goroutines := reg.Gauge("go_goroutines", "Number of live goroutines.")
+	heap := reg.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	gcs := reg.Counter("go_gc_cycles_total", "Completed GC cycles.")
+	reg.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heap.Set(int64(ms.HeapAlloc))
+		gcs.Store(uint64(ms.NumGC))
+	})
+}

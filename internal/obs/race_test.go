@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentScrape hammers one registry from many writer
+// goroutines — counters, gauges, histogram observations, and late
+// per-writer registrations — while scraper goroutines render and
+// re-parse the exposition for the writers' whole lifetime. Run under
+// -race (CI always does) this is the data-race proof for the entire
+// increment/render surface; the final single-threaded checks prove no
+// increment was lost.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	r := NewRegistry()
+	c := r.Counter("tap_race_events_total", "x")
+	g := r.Gauge("tap_race_depth", "x")
+	h := r.Histogram("tap_race_seconds", "x", []float64{0.001, 0.1, 1})
+
+	start := make(chan struct{})
+	var writerWG, scraperWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			<-start
+			lbl := Label{Name: "writer", Value: string(rune('a' + w))}
+			mine := r.Counter("tap_race_per_writer_total", "x", lbl)
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%7) * 0.01)
+				mine.Inc()
+			}
+		}(w)
+	}
+
+	scrapeDone := make(chan struct{})
+	errs := make(chan error, 3)
+	for s := 0; s < 3; s++ {
+		scraperWG.Add(1)
+		go func() {
+			defer scraperWG.Done()
+			<-start
+			for {
+				var sb strings.Builder
+				if err := r.WriteText(&sb); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+					errs <- err
+					return
+				}
+				select {
+				case <-scrapeDone:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	close(start)
+	writerWG.Wait()
+	close(scrapeDone)
+	scraperWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent scrape failed: %v", err)
+	}
+
+	if got := c.Load(); got != writers*perG {
+		t.Fatalf("counter = %d, want %d", got, writers*perG)
+	}
+	if g.Load() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Load())
+	}
+	if h.Count() != writers*perG {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), writers*perG)
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != h.Count() {
+		t.Fatalf("bucket total %d != count %d", cum, h.Count())
+	}
+	if got := r.Counter("tap_race_check_total", "x"); got == nil {
+		t.Fatal("post-race registration failed")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"tap/internal/core"
 	"tap/internal/crypt"
 	"tap/internal/id"
+	"tap/internal/obs"
 	"tap/internal/tha"
 	"tap/internal/transport"
 	"tap/internal/transport/tcptransport"
@@ -35,6 +36,7 @@ type Node struct {
 
 	tr   *tcptransport.Transport
 	logf func(format string, args ...any)
+	m    *nodeMetrics
 
 	anchors map[id.ID]tha.Anchor
 
@@ -49,8 +51,9 @@ type Node struct {
 	replies chan []byte
 }
 
-// New attaches a node at addr on tr. Pass a nil logf for silence.
-func New(tr *tcptransport.Transport, addr transport.Addr, logf func(format string, args ...any)) *Node {
+// New attaches a node at addr on tr. Pass a nil logf for silence and a
+// nil reg to run without metrics (obs's no-op sink).
+func New(tr *tcptransport.Transport, addr transport.Addr, logf func(format string, args ...any), reg *obs.Registry) *Node {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -59,6 +62,7 @@ func New(tr *tcptransport.Transport, addr transport.Addr, logf func(format strin
 		ID:      NodeID(addr),
 		tr:      tr,
 		logf:    logf,
+		m:       newNodeMetrics(reg),
 		anchors: make(map[id.ID]tha.Anchor),
 		byID:    map[id.ID]transport.Addr{NodeID(addr): addr},
 		acks:    make(chan id.ID, 64),
@@ -99,8 +103,11 @@ func (n *Node) Deliver(from transport.Addr, msg transport.Message) {
 	switch m := msg.(type) {
 	case *AnchorMsg:
 		n.anchors[m.Anchor.HopID] = m.Anchor
+		n.m.anchorInstalls.Inc()
+		n.m.anchorsHeld.Set(int64(len(n.anchors)))
 		n.sendTo(from, &AnchorAck{HopID: m.Anchor.HopID}, 0)
 	case *AnchorAck:
+		n.m.anchorAcks.Inc()
 		select {
 		case n.acks <- m.HopID:
 		default:
@@ -153,10 +160,12 @@ func (n *Node) sendResolved(target id.ID, attempt int, send func(dst transport.A
 		return
 	}
 	if attempt >= resolveRetries {
+		n.m.resolveDrops.Inc()
 		n.logf("procnode %d: cannot resolve node %s after %d attempts, dropping",
 			n.Addr, target.Short(), attempt)
 		return
 	}
+	n.m.parkRetries.Inc()
 	n.tr.Schedule(resolveDelay, func() { n.sendResolved(target, attempt+1, send) })
 }
 
@@ -171,6 +180,7 @@ func (n *Node) sendTo(dst transport.Addr, msg transport.Message, attempt int) {
 		n.tr.Send(n.Addr, dst, msg)
 		return
 	}
+	n.m.parkRetries.Inc()
 	n.tr.Schedule(resolveDelay, func() { n.sendTo(dst, msg, attempt+1) })
 }
 
@@ -183,11 +193,14 @@ func (n *Node) handleForward(env *core.Envelope) {
 		return
 	}
 	// The codec gave us an owned buffer: peel in place.
+	t0 := n.tr.Now()
 	layer, err := core.OpenForwardLayerInPlace(a, env.Sealed)
 	if err != nil {
 		n.logf("procnode %d: %v", n.Addr, err)
 		return
 	}
+	n.m.peelsForward.Inc()
+	n.m.peelSeconds.Observe((n.tr.Now() - t0).Seconds())
 	if layer.IsExit {
 		if layer.Dest == n.ID {
 			n.handleExitPayload(layer.Payload)
@@ -207,6 +220,7 @@ func (n *Node) handleForward(env *core.Envelope) {
 	}
 	next := &core.Envelope{HopID: layer.Next, Hint: layer.NextHint, Sealed: layer.Inner}
 	next.PadToMatch(env.SizeBytes())
+	n.m.relaysForwarded.Inc()
 	n.sendTo(dst, next, 0)
 }
 
@@ -217,6 +231,7 @@ func (n *Node) handleReply(env *core.ReplyEnvelope) {
 	if !ok {
 		if env.Target == n.ID {
 			// The tail hop resolved our bid: the reply is home.
+			n.m.repliesHome.Inc()
 			select {
 			case n.replies <- env.Data:
 			default:
@@ -227,11 +242,14 @@ func (n *Node) handleReply(env *core.ReplyEnvelope) {
 		n.logf("procnode %d: no anchor for reply hop %s", n.Addr, env.Target.Short())
 		return
 	}
+	t0 := n.tr.Now()
 	next, hint, rest, err := core.OpenReplyLayerInPlace(a, env.Onion)
 	if err != nil {
 		n.logf("procnode %d: %v", n.Addr, err)
 		return
 	}
+	n.m.peelsReply.Inc()
+	n.m.peelSeconds.Observe((n.tr.Now() - t0).Seconds())
 	out := &core.ReplyEnvelope{Target: next, Hint: hint, Onion: rest, Data: env.Data}
 	out.PadToMatch(env.SizeBytes())
 	if hint != transport.NoAddr {
@@ -270,6 +288,7 @@ func encodeRequest(sid uint64, seq uint32, fin bool, key crypt.Key, rt, chunk []
 // handleExitPayload is the responder role: decode a stream request, seal
 // the echo under the request's key, and launch it down the reply tunnel.
 func (n *Node) handleExitPayload(payload []byte) {
+	n.m.exitPayloads.Inc()
 	r := wire.NewReader(payload)
 	sid := r.Uint64()
 	seq := r.Uint32()

@@ -31,7 +31,7 @@ func startOverlay(t *testing.T, n int) []*Node {
 	}
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = New(trs[i], transport.Addr(i), t.Logf)
+		nodes[i] = New(trs[i], transport.Addr(i), t.Logf, nil)
 		nodes[i].SetPeers(peers)
 	}
 	return nodes

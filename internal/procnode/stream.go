@@ -99,6 +99,9 @@ func (n *Node) RoundTripStream(cfg StreamConfig, payload []byte) ([]byte, error)
 		for i, hop := range hops {
 			a := secrets[i].Anchor
 			for attempt := 0; ; attempt++ {
+				if attempt > 0 {
+					n.m.streamRetransmits.Inc()
+				}
 				n.tr.Send(n.Addr, hop, &AnchorMsg{Anchor: a})
 				if n.awaitAck(a.HopID, cfg.Timeout) {
 					break
@@ -160,6 +163,9 @@ func (n *Node) RoundTripStream(cfg StreamConfig, payload []byte) ([]byte, error)
 		}
 		var echo []byte
 		for attempt := 0; ; attempt++ {
+			if attempt > 0 {
+				n.m.streamRetransmits.Inc()
+			}
 			n.tr.Send(n.Addr, cfg.ForwardHops[0], env)
 			echo = n.awaitEcho(key, sid, uint32(seq), cfg.Timeout)
 			if echo != nil {
@@ -172,6 +178,7 @@ func (n *Node) RoundTripStream(cfg StreamConfig, payload []byte) ([]byte, error)
 		if !bytes.Equal(echo, chunk) {
 			return nil, fmt.Errorf("procnode: chunk %d echo mismatch (%d vs %d bytes)", seq, len(echo), len(chunk))
 		}
+		n.m.streamChunks.Inc()
 		echoed.Write(echo)
 	}
 	return echoed.Bytes(), nil

@@ -39,9 +39,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"tap/internal/obs"
 	"tap/internal/transport"
 	"tap/internal/wire"
 )
@@ -87,17 +87,127 @@ type Config struct {
 	// Logf, when non-nil, receives diagnostic messages (dial failures,
 	// decode errors). Default: silent.
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, receives the transport's metrics
+	// (tap_transport_*; see DESIGN.md §15). One transport per registry:
+	// the metric names are not instance-qualified. When nil the
+	// transport keeps a private registry so Stats() still reports.
+	Registry *obs.Registry
 }
 
-// Stats counts transport-level activity. Fields are atomics: readers use
-// the Load methods.
-type Stats struct {
-	Sent      atomic.Uint64 // messages handed to Send
-	Delivered atomic.Uint64 // messages handed to a local handler
-	Dropped   atomic.Uint64 // messages lost: unknown peer, full queue, dead conn, no handler
-	Dials     atomic.Uint64 // connection attempts
-	DialFails atomic.Uint64 // failed connection attempts
-	BytesSent atomic.Uint64 // framed bytes written
+// metrics holds the transport's instruments. All counting flows through
+// obs atomics — there is no separate stats bookkeeping — so a scrape and
+// the Stats() accessor can never disagree.
+type metrics struct {
+	sent      *obs.Counter
+	delivered *obs.Counter
+
+	// Drops by cause; the Stats() accessor reports their sum.
+	dropUnknownPeer *obs.Counter // destination not in the peer table (or transport closed)
+	dropQueueFull   *obs.Counter // per-peer outbound queue overflow
+	dropConnDown    *obs.Counter // peer torn down: late sends and drained queues
+	dropNoHandler   *obs.Counter // delivery with no attached handler
+	dropEncode      *obs.Counter // codec refused the message
+
+	dials       *obs.Counter
+	dialFails   *obs.Counter
+	dialSeconds *obs.Histogram
+
+	framesOut *obs.Counter
+	framesIn  *obs.Counter
+	bytesOut  *obs.Counter
+	bytesIn   *obs.Counter
+
+	decodeErrs *obs.Counter
+	runtFrames *obs.Counter
+
+	connsIn       *obs.Gauge
+	connsOut      *obs.Gauge
+	connOpensIn   *obs.Counter
+	connOpensOut  *obs.Counter
+	connClosesIn  *obs.Counter
+	connClosesOut *obs.Counter
+
+	queueDepth *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	dirIn := obs.Label{Name: "dir", Value: "in"}
+	dirOut := obs.Label{Name: "dir", Value: "out"}
+	reason := func(v string) obs.Label { return obs.Label{Name: "reason", Value: v} }
+	const drop = "tap_transport_dropped_total"
+	const dropHelp = "Messages lost by the transport, by cause."
+	frames := "tap_transport_frames_total"
+	framesHelp := "Frames crossing a socket, by direction."
+	bytes := "tap_transport_bytes_total"
+	bytesHelp := "Framed bytes crossing a socket, by direction."
+	connsActive := "tap_transport_conns_active"
+	connsActiveHelp := "Open TCP connections, by direction."
+	connsOpened := "tap_transport_conns_opened_total"
+	connsOpenedHelp := "TCP connections opened, by direction."
+	connsClosed := "tap_transport_conns_closed_total"
+	connsClosedHelp := "TCP connections closed, by direction."
+	return &metrics{
+		sent:      reg.Counter("tap_transport_sent_total", "Messages handed to Send."),
+		delivered: reg.Counter("tap_transport_delivered_total", "Messages handed to a local handler."),
+
+		dropUnknownPeer: reg.Counter(drop, dropHelp, reason("unknown_peer")),
+		dropQueueFull:   reg.Counter(drop, dropHelp, reason("queue_full")),
+		dropConnDown:    reg.Counter(drop, dropHelp, reason("conn_down")),
+		dropNoHandler:   reg.Counter(drop, dropHelp, reason("no_handler")),
+		dropEncode:      reg.Counter(drop, dropHelp, reason("encode")),
+
+		dials:       reg.Counter("tap_transport_dials_total", "Connection attempts."),
+		dialFails:   reg.Counter("tap_transport_dial_failures_total", "Failed connection attempts."),
+		dialSeconds: reg.Histogram("tap_transport_dial_seconds", "Dial latency of successful connection attempts.", nil),
+
+		framesOut: reg.Counter(frames, framesHelp, dirOut),
+		framesIn:  reg.Counter(frames, framesHelp, dirIn),
+		bytesOut:  reg.Counter(bytes, bytesHelp, dirOut),
+		bytesIn:   reg.Counter(bytes, bytesHelp, dirIn),
+
+		decodeErrs: reg.Counter("tap_transport_decode_errors_total", "Inbound frames the codec rejected."),
+		runtFrames: reg.Counter("tap_transport_runt_frames_total", "Inbound frames too short to carry addresses."),
+
+		connsIn:       reg.Gauge(connsActive, connsActiveHelp, dirIn),
+		connsOut:      reg.Gauge(connsActive, connsActiveHelp, dirOut),
+		connOpensIn:   reg.Counter(connsOpened, connsOpenedHelp, dirIn),
+		connOpensOut:  reg.Counter(connsOpened, connsOpenedHelp, dirOut),
+		connClosesIn:  reg.Counter(connsClosed, connsClosedHelp, dirIn),
+		connClosesOut: reg.Counter(connsClosed, connsClosedHelp, dirOut),
+
+		queueDepth: reg.Gauge("tap_transport_queue_depth", "Frames parked in per-peer outbound queues."),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of the transport's core
+// counters, kept for callers predating the metrics registry. Dropped
+// aggregates every drop cause.
+type StatsSnapshot struct {
+	Sent      uint64 // messages handed to Send
+	Delivered uint64 // messages handed to a local handler
+	Dropped   uint64 // messages lost: unknown peer, full queue, dead conn, no handler, encode
+	Dials     uint64 // connection attempts
+	DialFails uint64 // failed connection attempts
+	BytesSent uint64 // framed bytes written
+}
+
+// Stats reads the current counter values. Unlike the former exported
+// Stats field there is no struct to read half-updated: every field is
+// loaded from the same atomics the metrics endpoint scrapes.
+func (t *Transport) Stats() StatsSnapshot {
+	m := t.m
+	return StatsSnapshot{
+		Sent:      m.sent.Load(),
+		Delivered: m.delivered.Load(),
+		Dropped: m.dropUnknownPeer.Load() + m.dropQueueFull.Load() +
+			m.dropConnDown.Load() + m.dropNoHandler.Load() + m.dropEncode.Load(),
+		Dials:     m.dials.Load(),
+		DialFails: m.dialFails.Load(),
+		BytesSent: m.bytesOut.Load(),
+	}
 }
 
 // peer is one outbound neighbor: its queue, its writer goroutine, and
@@ -123,7 +233,7 @@ func (p *peer) shutdown() { p.stop.Do(func() { close(p.quit) }) }
 type Transport struct {
 	cfg   Config
 	start time.Time
-	Stats Stats
+	m     *metrics
 
 	events chan func()
 	quit   chan struct{}
@@ -159,6 +269,7 @@ func New(cfg Config) *Transport {
 	t := &Transport{
 		cfg:      cfg,
 		start:    time.Now(),
+		m:        newMetrics(cfg.Registry),
 		events:   make(chan func(), 1024),
 		quit:     make(chan struct{}),
 		handlers: make(map[transport.Addr]transport.Handler),
@@ -249,6 +360,12 @@ func (t *Transport) acceptLoop(ln net.Listener) {
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
+	t.m.connsIn.Inc()
+	t.m.connOpensIn.Inc()
+	defer func() {
+		t.m.connsIn.Dec()
+		t.m.connClosesIn.Inc()
+	}()
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
@@ -267,7 +384,10 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		t.m.framesIn.Inc()
+		t.m.bytesIn.Add(uint64(wire.FrameHeaderSize + len(payload)))
 		if len(payload) < 16 {
+			t.m.runtFrames.Inc()
 			t.logf("tcptransport: runt frame (%d bytes) from %s", len(payload), conn.RemoteAddr())
 			return
 		}
@@ -275,6 +395,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 		dst := transport.Addr(int64(binary.BigEndian.Uint64(payload[8:16])))
 		msg, err := t.cfg.Codec.Decode(kind, payload[16:])
 		if err != nil {
+			t.m.decodeErrs.Inc()
 			t.logf("tcptransport: decode kind %d from %s: %v", kind, conn.RemoteAddr(), err)
 			continue
 		}
@@ -290,10 +411,10 @@ func (t *Transport) deliverLocal(src, dst transport.Addr, msg transport.Message)
 		h := t.handlers[dst]
 		t.mu.Unlock()
 		if h == nil {
-			t.Stats.Dropped.Add(1)
+			t.m.dropNoHandler.Inc()
 			return
 		}
-		t.Stats.Delivered.Add(1)
+		t.m.delivered.Inc()
 		h.Deliver(src, msg)
 	})
 }
@@ -319,7 +440,7 @@ func (t *Transport) Schedule(delay transport.Time, fn func()) {
 // without touching a socket, so one process can host several addresses —
 // the integration tests and single-binary demos rely on that.
 func (t *Transport) Send(src, dst transport.Addr, msg transport.Message) {
-	t.Stats.Sent.Add(1)
+	t.m.sent.Inc()
 	t.mu.Lock()
 	_, local := t.handlers[dst]
 	t.mu.Unlock()
@@ -330,7 +451,7 @@ func (t *Transport) Send(src, dst transport.Addr, msg transport.Message) {
 	kind, payload, err := t.cfg.Codec.Encode(msg)
 	if err != nil {
 		t.logf("tcptransport: encode to %d: %v", dst, err)
-		t.Stats.Dropped.Add(1)
+		t.m.dropEncode.Inc()
 		return
 	}
 	body := make([]byte, 0, 16+len(payload))
@@ -341,23 +462,35 @@ func (t *Transport) Send(src, dst transport.Addr, msg transport.Message) {
 
 	p := t.peerFor(dst)
 	if p == nil {
-		t.Stats.Dropped.Add(1)
+		t.m.dropUnknownPeer.Inc()
 		return
 	}
 	select {
 	case <-p.quit:
 		// Peer torn down between peerFor and the enqueue (endpoint
 		// change, RemovePeer, Close). Drop; the next Send re-resolves.
-		t.Stats.Dropped.Add(1)
+		t.m.dropConnDown.Inc()
 		return
 	default:
 	}
 	select {
 	case p.out <- frame:
+		t.m.queueDepth.Inc()
+		select {
+		case <-p.quit:
+			// Teardown won the race between the quit pre-check and the
+			// enqueue: the writer is gone and dropPeer's drain may already
+			// have run, so this frame could sit in the dead channel
+			// forever. Drain it ourselves — discardQueued is safe to run
+			// concurrently with the teardown's own call, each frame is
+			// received (and counted) exactly once.
+			t.discardQueued(p)
+		default:
+		}
 	default:
 		// Full queue: the peer is slower than we produce. Drop, as an
 		// overloaded link would.
-		t.Stats.Dropped.Add(1)
+		t.m.dropQueueFull.Inc()
 	}
 }
 
@@ -391,15 +524,23 @@ func (t *Transport) peerFor(dst transport.Addr) *peer {
 func (t *Transport) writeLoop(dst transport.Addr, p *peer) {
 	defer t.wg.Done()
 	ctx, cancel := context.WithTimeout(context.Background(), t.cfg.DialTimeout)
-	t.Stats.Dials.Add(1)
+	t.m.dials.Inc()
+	dialStart := time.Now()
 	conn, err := t.cfg.Dialer.DialContext(ctx, "tcp", p.hostport)
 	cancel()
 	if err != nil {
-		t.Stats.DialFails.Add(1)
+		t.m.dialFails.Inc()
 		t.logf("tcptransport: dial %d (%s): %v", dst, p.hostport, err)
 		t.dropPeer(dst, p, false)
 		return
 	}
+	t.m.dialSeconds.Observe(time.Since(dialStart).Seconds())
+	t.m.connsOut.Inc()
+	t.m.connOpensOut.Inc()
+	defer func() {
+		t.m.connsOut.Dec()
+		t.m.connClosesOut.Inc()
+	}()
 	defer conn.Close()
 	t.markUp(dst)
 	done := make(chan struct{})
@@ -421,12 +562,15 @@ func (t *Transport) writeLoop(dst transport.Addr, p *peer) {
 		case <-p.quit:
 			return
 		case frame := <-p.out:
+			t.m.queueDepth.Dec()
 			if _, err := conn.Write(frame); err != nil {
+				t.m.dropConnDown.Inc()
 				t.logf("tcptransport: write %d (%s): %v", dst, p.hostport, err)
 				t.dropPeer(dst, p, true)
 				return
 			}
-			t.Stats.BytesSent.Add(uint64(len(frame)))
+			t.m.framesOut.Inc()
+			t.m.bytesOut.Add(uint64(len(frame)))
 		}
 	}
 }
@@ -464,7 +608,8 @@ func (t *Transport) discardQueued(p *peer) {
 	for {
 		select {
 		case <-p.out:
-			t.Stats.Dropped.Add(1)
+			t.m.queueDepth.Dec()
+			t.m.dropConnDown.Inc()
 		default:
 			return
 		}
